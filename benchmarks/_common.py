@@ -1,0 +1,73 @@
+"""Shared plumbing for the benchmark harness.
+
+Scale control (environment variables):
+
+* ``REPRO_FULL=1`` — run the paper's full protocol (all 30 instances,
+  100 quality runs per instance).  Expect hours.
+* ``REPRO_RUNS=<int>`` — override the Monte-Carlo run count per instance.
+* ``REPRO_HW_RUNS=<int>`` — override runs per instance for the
+  hardware-cost experiments (cost spread across runs is tiny, default 1).
+
+Every bench prints its regenerated table/figure both to the live terminal
+(`emit`) and into ``benchmarks/results/<name>.txt`` so the artifacts survive
+output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def full_protocol() -> bool:
+    """Whether the paper's full evaluation protocol was requested."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def quality_runs() -> int:
+    """Monte-Carlo runs per instance for solution-quality experiments."""
+    if "REPRO_RUNS" in os.environ:
+        return max(1, int(os.environ["REPRO_RUNS"]))
+    return 100 if full_protocol() else 10
+
+
+def hardware_runs() -> int:
+    """Runs per instance for the instrumented-machine experiments."""
+    if "REPRO_HW_RUNS" in os.environ:
+        return max(1, int(os.environ["REPRO_HW_RUNS"]))
+    return 10 if full_protocol() else 1
+
+
+def quality_suite():
+    """Instance specs for quality experiments (full suite either way —
+    instance counts are the paper's; run counts carry the scaling)."""
+    from repro.ising import paper_instance_suite
+
+    return paper_instance_suite()
+
+
+def hardware_suite():
+    """Instance specs for the cost experiments.
+
+    Cost is nearly deterministic across instances of a group (it depends on
+    n, k and the acceptance trajectory), so the reduced protocol uses the
+    first instance per group; ``REPRO_FULL=1`` uses all 30.
+    """
+    from repro.ising import paper_instance_suite, suite_by_size
+
+    suite = paper_instance_suite()
+    if full_protocol():
+        return suite
+    groups = suite_by_size(suite)
+    return [group[0] for group in groups.values()]
+
+
+def emit(capsys, name: str, text: str) -> None:
+    """Print ``text`` to the real terminal and persist it under results/."""
+    with capsys.disabled():
+        print()
+        print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

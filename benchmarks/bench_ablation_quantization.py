@@ -1,0 +1,89 @@
+"""Ablation — crossbar quantization width ``k``.
+
+Each matrix element occupies a 1×k sub-array (Sec. 3.3); k trades array
+width, per-iteration conversions and stored-image fidelity.  Unit-weight
+Max-Cut matrices hold a single magnitude, so even small k stores them
+exactly — weighted instances expose the fidelity loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, quality_runs
+from repro.arch import HardwareConfig, InSituCimAnnealer
+from repro.circuits import MatrixQuantizer
+from repro.ising import MaxCutProblem, generate_random
+from repro.utils.tables import render_table
+
+BIT_WIDTHS = (1, 2, 4, 6, 8)
+
+
+def test_quantization_fidelity(benchmark, capsys):
+    """Reconstruction error vs k for a Gaussian-weighted coupling matrix."""
+    rng = np.random.default_rng(11)
+    W = rng.normal(0, 1, (64, 64))
+    W = (W + W.T) / 2
+    np.fill_diagonal(W, 0)
+
+    def sweep():
+        rows = []
+        for bits in BIT_WIDTHS:
+            q = MatrixQuantizer(bits)
+            err = q.quantization_error(W)
+            rows.append((bits, 64 * bits * 2, err, err / np.abs(W).max()))
+        return rows
+
+    rows = benchmark(sweep)
+    table = render_table(
+        ["k (bits)", "columns", "max |Ĵ - J|", "relative"],
+        rows,
+        title="Ablation — stored-image fidelity vs quantization width",
+    )
+    emit(capsys, "ablation_quantization_fidelity", table)
+    errors = [r[2] for r in rows]
+    assert all(b < a for a, b in zip(errors, errors[1:]))
+    # halving LSB per extra bit
+    assert errors[2] < errors[1] / 2
+
+
+def test_quantization_solution_quality(benchmark, capsys):
+    """End-to-end machine quality vs k on a ±1-weighted instance."""
+    problem = generate_random(200, 2000, weighted=True, seed=21)
+    model = problem.to_ising()
+    runs = max(2, quality_runs() // 4)
+    iterations = 2000
+
+    # high-precision reference from the un-quantized software solver
+    from repro.core import solve_maxcut
+
+    ref = max(
+        solve_maxcut(problem, "insitu", 30_000, seed=s).best_cut for s in range(2)
+    )
+
+    def sweep():
+        rows = []
+        for bits in BIT_WIDTHS:
+            cfg = HardwareConfig.proposed(quantization_bits=bits)
+            cuts = []
+            for s in range(runs):
+                machine = InSituCimAnnealer(model, config=cfg, seed=700 + s)
+                result = machine.run(iterations)
+                # evaluate the found configuration on the TRUE weights
+                cuts.append(problem.cut_value(result.anneal.best_sigma))
+            rows.append((bits, float(np.mean(cuts) / ref)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["k (bits)", "mean norm. cut (true weights)"],
+        rows,
+        title="Ablation — solution quality vs quantization width "
+        "(±1-weighted 200-node instance)",
+    )
+    emit(capsys, "ablation_quantization_quality", table)
+    by_bits = dict(rows)
+    # ±1 weights are representable from k=1 up: quality must be flat-ish,
+    # and the paper's k=4 choice must sit in the good band.
+    assert by_bits[4] > 0.85
+    assert by_bits[8] > 0.85

@@ -1,0 +1,127 @@
+"""Ablation — retention and endurance of the stored problem (extension).
+
+The paper programs the array once per problem and reads non-destructively.
+Two lifetime questions follow: how long does a stored problem stay solvable
+(retention closes the window → the effective stored weights shrink and the
+ADC sees less signal), and how many problems can one array load before
+fatigue (endurance)?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, quality_runs
+from repro.arch import InSituCimAnnealer
+from repro.devices import (
+    EnduranceModel,
+    FeFET,
+    RetentionModel,
+    VariationModel,
+    annealing_runs_per_lifetime,
+    extract_metrics,
+)
+from repro.ising import MaxCutProblem
+from repro.utils.tables import render_table
+
+#: Retention checkpoints: 1 hour, 1 day, 1 month, 1 year, 10 years.
+RETENTION_TIMES = (3.6e3, 8.64e4, 2.63e6, 3.16e7, 3.16e8)
+
+
+def test_device_figures_of_merit(benchmark, capsys):
+    """The measured FoM table behind the lifetime studies."""
+    metrics = benchmark.pedantic(
+        lambda: extract_metrics(FeFET()), rounds=2, iterations=1
+    )
+    rows = [
+        ("memory window", f"{metrics.memory_window:.2f} V"),
+        ("ON/OFF ratio", f"{metrics.on_off_ratio:.2e}"),
+        ("subthreshold swing", f"{metrics.subthreshold_swing * 1e3:.0f} mV/dec"),
+        ("ON current", f"{metrics.on_current:.2e} A"),
+        ("OFF current", f"{metrics.off_current:.2e} A"),
+    ]
+    table = render_table(
+        ["figure of merit", "measured"],
+        rows,
+        title="FeFET figures of merit (compact model)",
+    )
+    emit(capsys, "ablation_retention_fom", table)
+    assert metrics.memory_window > 1.0
+
+
+def test_retention_window_and_solution_quality(benchmark, capsys):
+    """Solvability of a stored problem vs storage time.
+
+    Retention loss is emulated as a uniform weight shrink plus a V_TH
+    spread growing with the closed window — pessimistic but simple.
+    """
+    retention = RetentionModel()
+    problem = MaxCutProblem.random(64, 400, seed=13)
+    model = problem.to_ising()
+    runs = max(3, quality_runs() // 3)
+    from repro.core import solve_maxcut
+
+    ref = max(
+        solve_maxcut(problem, "insitu", 20_000, seed=s).best_cut for s in range(2)
+    )
+
+    def sweep():
+        rows = []
+        for elapsed in RETENTION_TIMES:
+            fraction = float(retention.polarization_fraction(elapsed))
+            # window closure maps to a growing effective threshold spread
+            vth_sigma = 0.15 * (1.0 - fraction)
+            cuts = []
+            for s in range(runs):
+                machine = InSituCimAnnealer(
+                    model,
+                    variation=VariationModel(vth_sigma=vth_sigma),
+                    seed=1_300 + s,
+                )
+                result = machine.run(2_000)
+                cuts.append(problem.cut_value(result.anneal.best_sigma))
+            rows.append(
+                (
+                    f"{elapsed:.1e} s",
+                    f"{fraction:.3f}",
+                    f"{vth_sigma * 1e3:.0f} mV",
+                    float(np.mean(cuts) / ref),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["storage time", "P/P0 remaining", "emulated V_TH σ", "mean norm. cut"],
+        rows,
+        title="Ablation — stored-problem retention vs solution quality",
+    )
+    emit(capsys, "ablation_retention_quality", table)
+    # even the 10-year point keeps the annealer in a useful band
+    assert rows[-1][3] > 0.85
+
+
+def test_endurance_budget(benchmark, capsys):
+    """Problem-reload capacity of one array under fatigue."""
+    endurance = EnduranceModel()
+    cycles = np.logspace(0, 12, 13)
+
+    def sweep():
+        return endurance.window_fraction(cycles)
+
+    fractions = benchmark(sweep)
+    rows = [
+        (f"{int(c):.0e}", f"{f:.3f}") for c, f in zip(cycles, fractions)
+    ]
+    table = render_table(
+        ["program cycles", "MW(N)/MW0"],
+        rows,
+        title="Ablation — endurance (wake-up then fatigue)",
+    )
+    capacity = annealing_runs_per_lifetime(endurance)
+    footer = (
+        f"\nproblem-reload capacity (window ≥ 50 %): {capacity:.2e} problems "
+        f"(one program cycle per problem; reads are non-destructive)"
+    )
+    emit(capsys, "ablation_endurance", table + footer)
+    assert capacity > 1e6

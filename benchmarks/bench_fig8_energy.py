@@ -1,0 +1,148 @@
+"""Fig 8 — energy comparison of the three CiM annealers.
+
+(a) average annealing energy per run for the 800/1000/2000/3000-node groups
+with the reduction multipliers (paper: 401-732× at n=800 rising to
+1503-1716× at n=3000); (b) cumulative energy vs iteration count on a
+1000-node instance (paper: steep linear growth for the baselines, nearly
+flat for this work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.analysis import PAPER_ENERGY_REDUCTIONS, hardware_table
+from repro.arch import DirectECimAnnealer, HardwareConfig, InSituCimAnnealer
+from repro.ising import MaxCutProblem, build_instance, paper_instance_suite
+from repro.utils.tables import render_series
+from repro.utils.units import MICRO, from_si
+
+
+def test_fig8a_average_energy(hardware_results, benchmark, capsys):
+    """Fig 8a: group-average energies and energy-reduction multipliers."""
+    results, ratios = hardware_results
+    table = hardware_table(results, ratios, "energy", PAPER_ENERGY_REDUCTIONS)
+    emit(capsys, "fig8a_energy", table)
+
+    # Benchmark kernel: in-situ machine simulation throughput (n = 200).
+    prob = MaxCutProblem.random(200, 1200, seed=77)
+    machine = InSituCimAnnealer(prob.to_ising(), seed=1)
+    benchmark.pedantic(lambda: machine.run(100), rounds=3, iterations=1)
+
+    # Shape assertions against the paper bands.
+    for nodes, group in ratios.items():
+        paper = PAPER_ENERGY_REDUCTIONS[nodes]
+        for machine_label, vals in group.items():
+            measured = vals["energy"]
+            expected = paper[machine_label]
+            assert 0.4 * expected < measured < 2.5 * expected, (
+                nodes,
+                machine_label,
+                measured,
+                expected,
+            )
+    # Reduction grows with problem size (the paper's headline trend).
+    fpga = {n: ratios[n]["CiM/FPGA"]["energy"] for n in ratios}
+    sizes = sorted(fpga)
+    assert all(fpga[a] < fpga[b] for a, b in zip(sizes, sizes[1:]))
+
+
+def test_fig8a_component_breakdown(benchmark, capsys):
+    """Fig 8a stacked bars: where the energy goes (ADC vs e^x vs rest)."""
+    from repro.utils.tables import render_table
+    from repro.utils.units import format_energy
+
+    spec = [s for s in paper_instance_suite() if s.nodes == 1000][0]
+    problem = build_instance(spec)
+    model = problem.to_ising()
+
+    def run_machines():
+        return {
+            "This work": InSituCimAnnealer(model, seed=5).run(spec.iterations),
+            "CiM/FPGA": DirectECimAnnealer(
+                model, HardwareConfig.baseline_fpga(), seed=5
+            ).run(spec.iterations),
+            "CiM/ASIC": DirectECimAnnealer(
+                model, HardwareConfig.baseline_asic(), seed=5
+            ).run(spec.iterations),
+        }
+
+    runs = benchmark.pedantic(run_machines, rounds=1, iterations=1)
+    rows = []
+    for label, run in runs.items():
+        anneal_total = run.annealing_energy
+        adc = run.ledger.entries["adc"].energy
+        exp = run.ledger.entries.get("exponent")
+        exp_energy = exp.energy if exp else 0.0
+        other = anneal_total - adc - exp_energy
+        rows.append(
+            (
+                label,
+                format_energy(anneal_total),
+                f"{adc / anneal_total:.0%}",
+                f"{exp_energy / anneal_total:.0%}",
+                f"{other / anneal_total:.0%}",
+            )
+        )
+    table = render_table(
+        ["machine", "annealing energy", "ADC share", "e^x share", "other"],
+        rows,
+        title="Fig 8a breakdown — 1000-node run (paper: ADC and e^x dominate "
+        "the baselines; the proposed design has no e^x at all)",
+    )
+    emit(capsys, "fig8a_breakdown", table)
+
+    fpga = runs["CiM/FPGA"].ledger
+    assert fpga.energy_share("exponent") > 0.2  # FPGA e^x is a major share
+    asic = runs["CiM/ASIC"].ledger
+    assert asic.energy_share("adc") > 0.8  # ASIC baseline is ADC-dominated
+    ours = runs["This work"].ledger
+    assert "exponent" not in ours.entries
+
+
+def test_fig8b_energy_vs_iterations(benchmark, capsys):
+    """Fig 8b: cumulative energy growth on a 1000-node instance."""
+    spec = [s for s in paper_instance_suite() if s.nodes == 1000][0]
+    problem = build_instance(spec)
+    model = problem.to_ising()
+    iterations = 1000
+
+    def run_all_three():
+        runs = {}
+        runs["This work"] = InSituCimAnnealer(
+            model, record_cost_trace=True, seed=3
+        ).run(iterations)
+        runs["CiM/FPGA"] = DirectECimAnnealer(
+            model, HardwareConfig.baseline_fpga(), record_cost_trace=True, seed=3
+        ).run(iterations)
+        runs["CiM/ASIC"] = DirectECimAnnealer(
+            model, HardwareConfig.baseline_asic(), record_cost_trace=True, seed=3
+        ).run(iterations)
+        return runs
+
+    runs = benchmark.pedantic(run_all_three, rounds=1, iterations=1)
+    checkpoints = list(range(0, iterations + 1, 100))[1:]
+    series = {
+        label: [from_si(run.energy_trace[c - 1], MICRO) for c in checkpoints]
+        for label, run in runs.items()
+    }
+    table = render_series(
+        "iteration",
+        checkpoints,
+        series,
+        title="Fig 8b — cumulative energy (µJ) vs iterations, 1000-node "
+        "instance (paper: baselines rise to ~1-2 µJ at 1000 iterations; "
+        "this work stays orders of magnitude lower)",
+        float_fmt="{:.5g}",
+    )
+    emit(capsys, "fig8b_energy_trend", table)
+
+    fpga = np.asarray(runs["CiM/FPGA"].energy_trace)
+    ours = np.asarray(runs["This work"].energy_trace)
+    # Baselines grow linearly (constant per-iteration cost within 25 %).
+    steps = np.diff(fpga[::100])
+    assert steps.std() / steps.mean() < 0.25
+    # Paper band: baseline total in the µJ range, ours far below.
+    assert 0.5e-6 < fpga[-1] < 5e-6
+    assert ours[-1] < fpga[-1] / 200

@@ -1,0 +1,34 @@
+"""Session-scoped experiment fixtures shared by the evaluation benches.
+
+The Fig 8, Fig 9 and Table 1 benches all consume the same instrumented
+machine runs, and Fig 10 / Table 1 share the quality protocol — running each
+protocol once per session keeps the default bench suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import hardware_runs, hardware_suite, quality_runs, quality_suite
+from repro.analysis import (
+    reduction_ratios,
+    run_hardware_experiment,
+    run_quality_experiment,
+)
+
+
+@pytest.fixture(scope="session")
+def hardware_results():
+    """Instrumented machine runs for Fig 8a/9a (+ reduction ratios)."""
+    results = run_hardware_experiment(
+        hardware_suite(), runs_per_instance=hardware_runs(), seed=42
+    )
+    return results, reduction_ratios(results)
+
+
+@pytest.fixture(scope="session")
+def quality_results():
+    """Monte-Carlo quality runs for Fig 10 / Table 1."""
+    return run_quality_experiment(
+        quality_suite(), runs_per_instance=quality_runs(), seed=7
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Device-accurate annealing: every E_inc sensed through the compact models.
+
+Runs the in-situ machine with the "device" crossbar backend on a small
+Max-Cut instance: each iteration drives the FG/DL lines, evaluates every
+activated DG FeFET cell (with threshold variation and wire IR-drop), muxes
+the column currents through the SAR ADC and folds the codes in the
+shift-and-add — exactly the Fig 6d read path.  Compares ideal vs varied
+arrays against the brute-force optimum.
+
+Run:  python examples/device_level_annealing.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import InSituCimAnnealer
+from repro.devices import VariationModel
+from repro.ising import MaxCutProblem
+from repro.utils.tables import render_table
+from repro.utils.units import format_energy, format_time
+
+
+def main() -> None:
+    problem = MaxCutProblem.random(16, 48, seed=31)
+    model = problem.to_ising()
+    _, e_min = model.brute_force_minimum()
+    optimum = problem.cut_from_energy(e_min)
+    print(
+        f"Instance: {problem.num_nodes} nodes / {problem.num_edges} edges, "
+        f"brute-force optimum cut = {optimum:g}\n"
+    )
+
+    scenarios = {
+        "ideal array": VariationModel(),
+        "25 mV V_TH spread": VariationModel(vth_sigma=0.025),
+        "50 mV spread + 2 % read noise": VariationModel(
+            vth_sigma=0.05, read_noise_sigma=0.02
+        ),
+    }
+    rows = []
+    for label, variation in scenarios.items():
+        machine = InSituCimAnnealer(
+            model, backend="device", variation=variation, seed=3
+        )
+        result = machine.run(800)
+        cut = problem.cut_value(result.anneal.best_sigma)
+        rows.append(
+            (
+                label,
+                f"{cut:g}",
+                f"{cut / optimum:.3f}",
+                format_energy(result.annealing_energy),
+                format_time(result.annealing_time),
+            )
+        )
+    print(
+        render_table(
+            ["array condition", "best cut", "norm.", "energy", "time"],
+            rows,
+            title="Device-accurate in-situ annealing (800 iterations)",
+        )
+    )
+    print("\nNote: the 'device' backend evaluates every activated cell through")
+    print("the DG FeFET compact model — use it for small arrays; the")
+    print("'behavioral' backend scales to the paper's 3000-node instances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Graph coloring through the QUBO path (a Table 1 COP class).
+
+Colors the Petersen graph with 3 colors: encode as a penalty QUBO, convert
+to Ising, fold the linear terms in with an ancilla spin, and anneal with
+the in-situ solver — the same route any constrained COP takes onto the
+crossbar.
+
+Run:  python examples/graph_coloring.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core import solve_ising
+from repro.ising import GraphColoringProblem, QuboModel
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    graph = nx.petersen_graph()
+    edges = np.array(graph.edges())
+    problem = GraphColoringProblem(graph.number_of_nodes(), edges, num_colors=3)
+    print(
+        f"Petersen graph: {graph.number_of_nodes()} vertices, "
+        f"{graph.number_of_edges()} edges, chromatic number 3 — "
+        f"{problem.num_variables} binary variables one-hot encoded."
+    )
+
+    qubo = problem.to_qubo()
+    model = qubo.to_ising()
+    print(f"Ising model: {model.num_spins} spins (+1 ancilla for the fields)\n")
+
+    best = None
+    for attempt in range(5):
+        result = solve_ising(model, method="insitu", iterations=8_000, seed=attempt)
+        if best is None or result.best_energy < best.best_energy:
+            best = result
+        if abs(best.best_energy - problem.ground_energy) < 1e-9:
+            break
+
+    x = QuboModel.sigma_to_x(best.best_sigma)
+    colors = problem.decode(x)
+    violations = problem.violations(x)
+    rows = [(v, int(c)) for v, c in enumerate(colors)]
+    print(render_table(["vertex", "color"], rows, title="Best coloring found"))
+    print(
+        f"\nQUBO energy {best.best_energy:g} (ground {problem.ground_energy:g}); "
+        f"violations: {violations}"
+    )
+    if problem.is_proper(x):
+        print("Proper 3-coloring found.")
+    else:
+        print("Not a proper coloring — try more iterations/restarts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""0/1 knapsack through the QUBO path (a Table 1 COP class).
+
+Encodes a 12-item knapsack with the log-slack construction, anneals it, and
+compares against the exact dynamic-programming optimum.
+
+Run:  python examples/knapsack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import solve_ising
+from repro.ising import KnapsackProblem, QuboModel
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    problem = KnapsackProblem.random(12, seed=4)
+    print(
+        f"Knapsack: {problem.num_items} items, capacity {problem.capacity}, "
+        f"{problem.num_slack_bits} slack bits → {problem.num_variables} variables"
+    )
+
+    exact_sel, exact_value = problem.brute_force_optimum()
+    model = problem.to_qubo().to_ising().with_ancilla()
+
+    best_sel, best_value = None, -np.inf
+    for attempt in range(6):
+        result = solve_ising(model, method="insitu", iterations=10_000, seed=attempt)
+        sigma = result.best_sigma
+        if sigma[0] == -1:  # gauge: ancilla must read +1
+            sigma = -sigma
+        x = QuboModel.sigma_to_x(sigma[1:])
+        sel = problem.decode(x)
+        if problem.is_feasible(sel) and problem.total_value(sel) > best_value:
+            best_sel, best_value = sel, problem.total_value(sel)
+
+    rows = [
+        (
+            "exact (DP)",
+            f"{exact_value:g}",
+            f"{problem.total_weight(exact_sel):g}/{problem.capacity}",
+            "".join(map(str, exact_sel)),
+        ),
+        (
+            "in-situ annealer",
+            f"{best_value:g}",
+            f"{problem.total_weight(best_sel):g}/{problem.capacity}",
+            "".join(map(str, best_sel)),
+        ),
+    ]
+    print(render_table(["solver", "value", "weight/cap", "selection"], rows))
+    print(f"\nAnnealer reached {best_value / exact_value:.1%} of the DP optimum.")
+
+
+if __name__ == "__main__":
+    main()

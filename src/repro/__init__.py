@@ -1,0 +1,61 @@
+"""repro — Ferroelectric compute-in-memory in-situ annealer (DAC 2025 repro).
+
+A full-stack Python reproduction of *"Device-Algorithm Co-Design of
+Ferroelectric Compute-in-Memory In-Situ Annealer for Combinatorial
+Optimization Problems"* (Qian et al., DAC 2025):
+
+* :mod:`repro.ising` — Ising/QUBO substrate and the paper's COP families
+  (Max-Cut, graph coloring, knapsack, number partitioning) plus Gset-style
+  instance generation.
+* :mod:`repro.devices` — behavioural compact models of the FeFET (Preisach)
+  and the double-gate FeFET whose four-input product enables in-situ E_inc.
+* :mod:`repro.circuits` — crossbar array, SAR ADC, drivers, exponent units
+  and interconnect parasitics.
+* :mod:`repro.core` — the paper's contribution: incremental-E transformation,
+  fractional annealing factor, in-situ annealing flow (Algorithm 1) and the
+  direct-E baselines.
+* :mod:`repro.arch` — energy/latency-instrumented annealer machines
+  (proposed CiM in-situ annealer, CiM/FPGA and CiM/ASIC baselines).
+* :mod:`repro.analysis` — metrics, reference solutions and experiment
+  runners used by the benchmark harness.
+
+Quickstart::
+
+    from repro import MaxCutProblem, solve_maxcut
+    problem = MaxCutProblem.random(64, 256, seed=1)
+    result = solve_maxcut(problem, iterations=2000, seed=2)
+    print(result.best_cut, result.normalized_cut)
+"""
+
+from repro.ising import (
+    GraphColoringProblem,
+    IsingModel,
+    KnapsackProblem,
+    MaxCutProblem,
+    NumberPartitioningProblem,
+    QuboModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IsingModel",
+    "QuboModel",
+    "MaxCutProblem",
+    "GraphColoringProblem",
+    "KnapsackProblem",
+    "NumberPartitioningProblem",
+    "solve_ising",
+    "solve_maxcut",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports for the high-level solver API keep `import repro` light
+    # and avoid import cycles while the sub-packages load each other.
+    if name in ("solve_ising", "solve_maxcut"):
+        from repro.core import solver
+
+        return getattr(solver, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

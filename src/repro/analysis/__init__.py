@@ -1,0 +1,63 @@
+"""Analysis layer: metrics, reference solutions, experiment orchestration.
+
+The benchmark harness is a thin shell over this package: every figure/table
+of the paper's evaluation maps to a runner + report function here.
+"""
+
+from repro.analysis.metrics import (
+    SUCCESS_THRESHOLD,
+    RunStatistics,
+    cost_to_solution,
+    is_success,
+    iterations_to_target,
+    normalized_cut,
+    success_rate,
+)
+from repro.analysis.reference import (
+    compute_reference_cut,
+    exact_bipartite_optimum,
+    instance_fingerprint,
+    reference_cut,
+)
+from repro.analysis.report import (
+    PAPER_ENERGY_REDUCTIONS,
+    PAPER_SUCCESS,
+    PAPER_TIME_REDUCTIONS,
+    hardware_table,
+    quality_table,
+    table1,
+)
+from repro.analysis.runner import (
+    HardwareGroupResult,
+    QualityGroupResult,
+    default_machines,
+    reduction_ratios,
+    run_hardware_experiment,
+    run_quality_experiment,
+)
+
+__all__ = [
+    "SUCCESS_THRESHOLD",
+    "RunStatistics",
+    "normalized_cut",
+    "is_success",
+    "success_rate",
+    "iterations_to_target",
+    "cost_to_solution",
+    "reference_cut",
+    "compute_reference_cut",
+    "exact_bipartite_optimum",
+    "instance_fingerprint",
+    "run_quality_experiment",
+    "run_hardware_experiment",
+    "reduction_ratios",
+    "default_machines",
+    "QualityGroupResult",
+    "HardwareGroupResult",
+    "hardware_table",
+    "quality_table",
+    "table1",
+    "PAPER_ENERGY_REDUCTIONS",
+    "PAPER_TIME_REDUCTIONS",
+    "PAPER_SUCCESS",
+]

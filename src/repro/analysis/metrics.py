@@ -1,0 +1,89 @@
+"""Solution-quality and cost metrics used by the evaluation benches.
+
+Implements the paper's Fig 10 quantities — normalised cut value and the
+90 %-of-optimum success criterion — plus time/energy-to-solution extraction
+from instrumented runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's success threshold: a run "solves" an instance when its best
+#: cut reaches 90 % of the (best-known) optimal value.
+SUCCESS_THRESHOLD = 0.9
+
+
+def normalized_cut(cut: float, reference: float) -> float:
+    """Cut value normalised by the reference optimum (Fig 10 y-axis)."""
+    if reference <= 0:
+        raise ValueError("reference cut must be positive")
+    return cut / reference
+
+
+def is_success(cut: float, reference: float, threshold: float = SUCCESS_THRESHOLD) -> bool:
+    """The paper's success test: ``cut ≥ threshold · reference``."""
+    return normalized_cut(cut, reference) >= threshold
+
+
+def success_rate(cuts, reference: float, threshold: float = SUCCESS_THRESHOLD) -> float:
+    """Fraction of runs that meet the success criterion."""
+    arr = np.asarray(cuts, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cuts must be non-empty")
+    return float(np.mean(arr >= threshold * reference))
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Aggregate of a batch of scalar outcomes (cuts, energies, times)."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values) -> "RunStatistics":
+        """Compute statistics of a non-empty value collection."""
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("values must be non-empty")
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            count=int(arr.size),
+        )
+
+
+def iterations_to_target(best_trace, target_energy: float) -> int | None:
+    """First iteration whose best-so-far energy is ≤ ``target_energy``.
+
+    ``best_trace`` is the per-iteration best-energy trace recorded by the
+    annealers; returns ``None`` when the target is never reached.
+    """
+    trace = np.asarray(best_trace, dtype=np.float64)
+    hits = np.flatnonzero(trace <= target_energy)
+    return int(hits[0]) if hits.size else None
+
+
+def cost_to_solution(
+    best_trace, cost_trace, target_energy: float
+) -> float | None:
+    """Cumulative cost (energy or time) when the target is first reached.
+
+    Combines an annealer best-energy trace with a machine cumulative-cost
+    trace of the same length — the paper's time/energy-to-solution metric
+    (Table 1).  Returns ``None`` when the target is never reached.
+    """
+    trace = np.asarray(best_trace, dtype=np.float64)
+    cost = np.asarray(cost_trace, dtype=np.float64)
+    if trace.shape != cost.shape:
+        raise ValueError("best_trace and cost_trace must have equal length")
+    hit = iterations_to_target(trace, target_energy)
+    return None if hit is None else float(cost[hit])

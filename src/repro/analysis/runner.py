@@ -1,0 +1,212 @@
+"""Experiment runners for the paper's 30-instance evaluation protocol.
+
+Two orchestrations cover Sec. 4:
+
+* :func:`run_quality_experiment` — Fig 10: Monte-Carlo runs of each solver
+  on each instance group, producing normalised cuts and success rates;
+* :func:`run_hardware_experiment` — Fig 8/9: instrumented machine runs
+  producing per-group energy/time averages and reduction ratios.
+
+Both honour the paper's per-size iteration budgets and accept reduced
+instance/run counts so the default benches stay fast (``REPRO_FULL=1``
+restores the full protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import SUCCESS_THRESHOLD, RunStatistics, success_rate
+from repro.analysis.reference import reference_cut
+from repro.arch.baselines import DirectECimAnnealer
+from repro.arch.cim_annealer import InSituCimAnnealer
+from repro.arch.hardware import HardwareConfig
+from repro.core.solver import solve_maxcut
+from repro.ising.gset import GsetSpec, build_instance, suite_by_size
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class QualityGroupResult:
+    """Fig 10 data for one node-count group and one solver."""
+
+    nodes: int
+    solver: str
+    normalized_cuts: list[float] = field(default_factory=list)
+    cuts: list[float] = field(default_factory=list)
+    references: list[float] = field(default_factory=list)
+
+    @property
+    def success(self) -> float:
+        """Fraction of runs reaching the 90 % threshold."""
+        arr = np.asarray(self.normalized_cuts)
+        return float(np.mean(arr >= SUCCESS_THRESHOLD))
+
+    @property
+    def mean_normalized(self) -> float:
+        """Group-average normalised cut."""
+        return float(np.mean(self.normalized_cuts))
+
+
+def run_quality_experiment(
+    specs: list[GsetSpec],
+    methods: dict[str, dict] | None = None,
+    runs_per_instance: int = 10,
+    seed: int = 0,
+    reference_cache=None,
+) -> dict[int, dict[str, QualityGroupResult]]:
+    """Monte-Carlo solution-quality protocol (Fig 10).
+
+    Parameters
+    ----------
+    specs:
+        Instance specs (typically :func:`repro.ising.paper_instance_suite`
+        or a subset).
+    methods:
+        Mapping solver-label → kwargs for :func:`solve_maxcut` (must include
+        ``method``); default compares the in-situ annealer with direct-E SA.
+    runs_per_instance:
+        Monte-Carlo runs per instance (paper: 100).
+    seed:
+        Base seed; every (instance, run, method) gets an independent stream.
+    reference_cache:
+        Forwarded to :func:`reference_cut` (``None`` → default cache file).
+
+    Returns ``{nodes: {solver_label: QualityGroupResult}}``.
+    """
+    if methods is None:
+        methods = {
+            "This work": {"method": "insitu"},
+            "CiM/FPGA & CiM/ASIC": {"method": "sa"},
+        }
+    groups = suite_by_size(specs)
+    rng = ensure_rng(seed)
+    out: dict[int, dict[str, QualityGroupResult]] = {}
+    for nodes, group_specs in groups.items():
+        out[nodes] = {
+            label: QualityGroupResult(nodes=nodes, solver=label) for label in methods
+        }
+        for spec in group_specs:
+            problem = build_instance(spec)
+            kwargs_cache = {} if reference_cache is None else {"cache_path": reference_cache}
+            ref = reference_cut(problem, **kwargs_cache)
+            for run in range(runs_per_instance):
+                run_seed = int(rng.integers(2**62))
+                for label, kwargs in methods.items():
+                    result = solve_maxcut(
+                        problem,
+                        iterations=spec.iterations,
+                        seed=run_seed,
+                        reference_cut=ref,
+                        **kwargs,
+                    )
+                    bucket = out[nodes][label]
+                    bucket.cuts.append(result.best_cut)
+                    bucket.references.append(ref)
+                    bucket.normalized_cuts.append(result.best_cut / ref)
+    return out
+
+
+@dataclass
+class HardwareGroupResult:
+    """Fig 8/9 data for one node-count group and one machine."""
+
+    nodes: int
+    machine: str
+    energies: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    cuts: list[float] = field(default_factory=list)
+
+    @property
+    def energy(self) -> RunStatistics:
+        """Per-run annealing-energy statistics (joules)."""
+        return RunStatistics.from_values(self.energies)
+
+    @property
+    def time(self) -> RunStatistics:
+        """Per-run annealing-time statistics (seconds)."""
+        return RunStatistics.from_values(self.times)
+
+
+def default_machines() -> dict[str, dict]:
+    """The paper's three machines as runner factory descriptions."""
+    return {
+        "This work": {"kind": "insitu"},
+        "CiM/FPGA": {"kind": "direct", "config": HardwareConfig.baseline_fpga()},
+        "CiM/ASIC": {"kind": "direct", "config": HardwareConfig.baseline_asic()},
+    }
+
+
+def _build_machine(description: dict, model, seed):
+    description = dict(description)
+    kind = description.pop("kind")
+    if kind == "insitu":
+        return InSituCimAnnealer(model, seed=seed, **description)
+    if kind == "direct":
+        return DirectECimAnnealer(model, seed=seed, **description)
+    raise ValueError(f"unknown machine kind {kind!r}")
+
+
+def run_hardware_experiment(
+    specs: list[GsetSpec],
+    machines: dict[str, dict] | None = None,
+    runs_per_instance: int = 2,
+    seed: int = 0,
+) -> dict[int, dict[str, HardwareGroupResult]]:
+    """Instrumented machine protocol (Fig 8a/9a).
+
+    Returns ``{nodes: {machine_label: HardwareGroupResult}}`` with per-run
+    annealing energy/time (programming excluded, as in the paper).
+    """
+    machines = machines or default_machines()
+    groups = suite_by_size(specs)
+    rng = ensure_rng(seed)
+    out: dict[int, dict[str, HardwareGroupResult]] = {}
+    for nodes, group_specs in groups.items():
+        out[nodes] = {
+            label: HardwareGroupResult(nodes=nodes, machine=label) for label in machines
+        }
+        for spec in group_specs:
+            problem = build_instance(spec)
+            model = problem.to_ising()
+            for run in range(runs_per_instance):
+                run_seed = int(rng.integers(2**62))
+                for label, description in machines.items():
+                    machine = _build_machine(description, model, run_seed)
+                    result = machine.run(spec.iterations)
+                    bucket = out[nodes][label]
+                    bucket.energies.append(result.annealing_energy)
+                    bucket.times.append(result.annealing_time)
+                    bucket.cuts.append(
+                        problem.cut_from_energy(result.anneal.best_energy)
+                    )
+    return out
+
+
+def reduction_ratios(
+    hardware_results: dict[int, dict[str, HardwareGroupResult]],
+    reference_machine: str = "This work",
+) -> dict[int, dict[str, dict[str, float]]]:
+    """Energy/time reduction of every machine relative to the reference.
+
+    Returns ``{nodes: {machine: {"energy": ×, "time": ×}}}`` — the
+    multipliers annotated on the paper's Fig 8a/9a bars.
+    """
+    out: dict[int, dict[str, dict[str, float]]] = {}
+    for nodes, group in hardware_results.items():
+        if reference_machine not in group:
+            raise KeyError(f"reference machine {reference_machine!r} missing")
+        ref = group[reference_machine]
+        ref_e = ref.energy.mean
+        ref_t = ref.time.mean
+        out[nodes] = {}
+        for label, res in group.items():
+            if label == reference_machine:
+                continue
+            out[nodes][label] = {
+                "energy": res.energy.mean / ref_e if ref_e > 0 else float("inf"),
+                "time": res.time.mean / ref_t if ref_t > 0 else float("inf"),
+            }
+    return out

@@ -1,0 +1,98 @@
+"""Problem-size scaling studies (extension beyond the paper's four sizes).
+
+The paper reports four discrete sizes; this module measures how the
+machines' costs *scale*: per-iteration energy/time versus n for each
+annealer, and the crossover behaviour of the incremental-E advantage.
+Used by ``bench_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.baselines import DirectECimAnnealer
+from repro.arch.cim_annealer import InSituCimAnnealer
+from repro.arch.hardware import HardwareConfig
+from repro.ising.gset import generate_random
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Per-size measurement of the three machines."""
+
+    nodes: int
+    edges: int
+    insitu_energy_per_iter: float
+    fpga_energy_per_iter: float
+    asic_energy_per_iter: float
+    insitu_time_per_iter: float
+    baseline_time_per_iter: float
+
+    @property
+    def energy_reduction_fpga(self) -> float:
+        """FPGA-baseline energy multiplier at this size."""
+        return self.fpga_energy_per_iter / self.insitu_energy_per_iter
+
+    @property
+    def energy_reduction_asic(self) -> float:
+        """ASIC-baseline energy multiplier at this size."""
+        return self.asic_energy_per_iter / self.insitu_energy_per_iter
+
+    @property
+    def time_reduction(self) -> float:
+        """Baseline time multiplier at this size."""
+        return self.baseline_time_per_iter / self.insitu_time_per_iter
+
+
+def measure_scaling(
+    sizes=(100, 200, 400, 800, 1600),
+    average_degree: int = 12,
+    iterations: int = 200,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Measure per-iteration machine costs over a size sweep.
+
+    Uses matched-density random instances so only ``n`` varies; iteration
+    count is small because per-iteration costs are nearly stationary.
+    """
+    rng = ensure_rng(seed)
+    points = []
+    for n in sizes:
+        m = n * average_degree // 2
+        problem = generate_random(n, m, seed=int(rng.integers(2**31)))
+        model = problem.to_ising()
+        ours = InSituCimAnnealer(model, seed=seed).run(iterations)
+        fpga = DirectECimAnnealer(
+            model, HardwareConfig.baseline_fpga(), seed=seed
+        ).run(iterations)
+        asic = DirectECimAnnealer(
+            model, HardwareConfig.baseline_asic(), seed=seed
+        ).run(iterations)
+        points.append(
+            ScalingPoint(
+                nodes=n,
+                edges=m,
+                insitu_energy_per_iter=ours.annealing_energy / iterations,
+                fpga_energy_per_iter=fpga.annealing_energy / iterations,
+                asic_energy_per_iter=asic.annealing_energy / iterations,
+                insitu_time_per_iter=ours.annealing_time / iterations,
+                baseline_time_per_iter=asic.annealing_time / iterations,
+            )
+        )
+    return points
+
+
+def fitted_exponent(points: list[ScalingPoint], attribute: str) -> float:
+    """Least-squares slope of log(attribute) vs log(n).
+
+    ≈ 1 for O(n) scaling, ≈ 0 for size-independent cost.
+    """
+    import numpy as np
+
+    if len(points) < 2:
+        raise ValueError("need at least two scaling points")
+    xs = np.log([p.nodes for p in points])
+    ys = np.log([getattr(p, attribute) for p in points])
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)

@@ -1,0 +1,153 @@
+"""The baseline machines: direct-E FeFET CiM annealers (CiM/FPGA, CiM/ASIC).
+
+These model the comparison targets of Sec. 4: a FeFET crossbar computes the
+*full* energy ``E_new = σ_newᵀJσ_new`` every iteration — activating all
+``n·k·planes`` columns and paying 8 sequential conversions per 8:1-muxed ADC
+— then digital logic forms ``ΔE`` and, for uphill moves, the FPGA or ASIC
+exponent unit [18] evaluates the Metropolis factor.
+
+The algorithm itself is the classic SA of :class:`~repro.core.sa.
+DirectEAnnealer`; the machine layer books the hardware activity that the
+direct-E transformation implies.  (The software computes ΔE with the cheap
+identity — mathematically equal to the O(n²) hardware computation — so the
+solution quality is exactly what the baseline would produce.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.hardware import HardwareConfig
+from repro.arch.ledger import Ledger
+from repro.arch.mapping import CrossbarMapping
+from repro.arch.result import CimRunResult
+from repro.circuits.quantize import MatrixQuantizer
+from repro.core.sa import DirectEAnnealer
+from repro.core.schedule import Schedule
+from repro.ising.model import IsingModel
+from repro.utils.rng import ensure_rng
+
+
+class DirectECimAnnealer:
+    """Hardware-instrumented direct-E baseline machine.
+
+    Parameters
+    ----------
+    model:
+        The Ising model to solve (couplings only, as for the proposed
+        machine).
+    config:
+        :meth:`HardwareConfig.baseline_fpga` or
+        :meth:`HardwareConfig.baseline_asic` (default FPGA).
+    flips_per_iteration / schedule / proposal:
+        Algorithm parameters of the inner Metropolis SA.
+    record_cost_trace:
+        Record cumulative cost per iteration (Fig 8b/9b).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        model: IsingModel,
+        config: HardwareConfig | None = None,
+        flips_per_iteration: int = 1,
+        schedule: Schedule | None = None,
+        proposal: str = "random",
+        record_cost_trace: bool = False,
+        record_trace: bool = False,
+        seed=None,
+    ) -> None:
+        if model.has_fields:
+            raise ValueError(
+                "crossbar machines store couplings only; fold fields in via "
+                "model.with_ancilla() first"
+            )
+        self.config = config or HardwareConfig.baseline_fpga()
+        if self.config.exponent is None:
+            raise ValueError("direct-E baselines need an exponent unit")
+        rng = ensure_rng(seed)
+        quantizer = MatrixQuantizer(self.config.quantization_bits)
+        self.quantized = quantizer.quantize(model.J)
+        self.hw_model = IsingModel(
+            self.quantized.dequantize(), None, offset=model.offset, name=model.name
+        )
+        self.mapping = CrossbarMapping.for_matrix(
+            model.J, self.config.quantization_bits, self.config.adc.mux_ratio
+        )
+        self.flips_per_iteration = int(flips_per_iteration)
+        self.record_cost_trace = bool(record_cost_trace)
+        self._annealer = DirectEAnnealer(
+            self.hw_model,
+            flips_per_iteration=flips_per_iteration,
+            schedule=schedule,
+            proposal=proposal,
+            iteration_hook=self._book_iteration,
+            record_trace=record_trace,
+            seed=rng,
+        )
+        self._ledger: Ledger | None = None
+        self._iter_energy: list[float] | None = None
+        self._iter_time: list[float] | None = None
+        # Per-iteration constants of the full-array evaluation.
+        cfg = self.config
+        self._conversions = self.mapping.full_activation_conversions(phases=2)
+        self._slots = self.mapping.full_activation_slots(phases=2)
+        self._adc_energy = self._conversions * cfg.adc.energy_per_conversion
+        self._adc_time = self._slots * cfg.adc.time_per_conversion
+        self._sa_energy = self._conversions * cfg.shift_add.energy_per_code
+        self._settle = 2 * cfg.wire.settle_time(self.mapping.num_spins)
+
+    @property
+    def label(self) -> str:
+        """Machine display name."""
+        return self.config.label
+
+    # ------------------------------------------------------------------
+    def _book_iteration(self, iteration, delta_e, accepted, temperature) -> None:
+        assert self._ledger is not None
+        cfg = self.config
+        ledger = self._ledger
+        ledger.add("adc", self._adc_energy, self._adc_time, self._conversions)
+        ledger.add("shift_add", self._sa_energy, 0.0)
+        # Spin-register lines toggle only when the proposal is accepted.
+        driver_energy = 0.0
+        if accepted:
+            toggles = 2 * self.flips_per_iteration
+            driver_energy = toggles * cfg.fg_driver.energy_per_toggle
+        ledger.add("drivers", driver_energy, self._settle)
+        exp_energy = exp_time = 0.0
+        if delta_e > 0:
+            exp_energy = cfg.exponent.energy_per_eval
+            exp_time = cfg.exponent.time_per_eval
+            ledger.add("exponent", exp_energy, exp_time)
+        ledger.add("logic", cfg.logic_energy, cfg.logic_time)
+        if self._iter_energy is not None:
+            total_e = (
+                self._adc_energy + self._sa_energy + driver_energy + exp_energy
+                + cfg.logic_energy
+            )
+            total_t = self._adc_time + self._settle + exp_time + cfg.logic_time
+            prev_e = self._iter_energy[-1] if self._iter_energy else 0.0
+            prev_t = self._iter_time[-1] if self._iter_time else 0.0
+            self._iter_energy.append(prev_e + total_e)
+            self._iter_time.append(prev_t + total_t)
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int, initial=None) -> CimRunResult:
+        """Anneal for ``iterations`` and return solution + cost books."""
+        self._ledger = Ledger()
+        self._iter_energy = [] if self.record_cost_trace else None
+        self._iter_time = [] if self.record_cost_trace else None
+        cells = 2 * self.config.quantization_bits * self.hw_model.num_spins**2
+        self._ledger.add("program", cells * 1.0e-14, 0.0, cells)
+        anneal = self._annealer.run(iterations, initial=initial)
+        result = CimRunResult(
+            label=self.label,
+            anneal=anneal,
+            ledger=self._ledger,
+            energy_trace=np.asarray(self._iter_energy) if self.record_cost_trace else None,
+            time_trace=np.asarray(self._iter_time) if self.record_cost_trace else None,
+        )
+        self._ledger = None
+        return result

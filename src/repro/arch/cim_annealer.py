@@ -1,0 +1,251 @@
+"""The proposed machine: DG FeFET CiM in-situ annealer (paper Fig 3/7).
+
+Wires the pieces together end-to-end:
+
+* the coupling matrix is quantized and programmed into a
+  :class:`~repro.circuits.crossbar.DgFefetCrossbar`;
+* the annealing logic is the core :class:`~repro.core.annealer.InSituAnnealer`
+  running *against the crossbar* through its evaluator hook, so the accept
+  decisions are made on the sensed (quantized, noisy, device-limited)
+  ``E_inc`` — not on ideal arithmetic;
+* every iteration's hardware activity (ADC conversions, mux slots, driver
+  toggles, settle time, BG DAC updates, controller logic) is booked into a
+  :class:`~repro.arch.ledger.Ledger`.
+
+The ``"behavioral"`` crossbar backend makes runs at the paper's full scale
+(3000 spins × 100 000 iterations) take seconds; the ``"device"`` backend
+evaluates every activated cell through the compact device model and is meant
+for small arrays (tests, ablations, examples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.hardware import HardwareConfig
+from repro.arch.ledger import Ledger
+from repro.arch.mapping import CrossbarMapping
+from repro.arch.result import CimRunResult
+from repro.circuits.crossbar import DgFefetCrossbar
+from repro.core.annealer import InSituAnnealer
+from repro.core.factors import FractionalFactor, VbgEncoder
+from repro.core.schedule import Schedule, VbgStepSchedule
+from repro.devices.variability import VariationModel
+from repro.ising.model import IsingModel
+from repro.utils.rng import ensure_rng
+
+
+class InSituCimAnnealer:
+    """Hardware-instrumented in-situ CiM annealer.
+
+    Parameters
+    ----------
+    model:
+        The Ising model to solve (fields should be folded in with
+        :meth:`~repro.ising.IsingModel.with_ancilla` first — the crossbar
+        stores couplings only).
+    config:
+        Component/cost set; default :meth:`HardwareConfig.proposed`.
+    flips_per_iteration / factor / schedule / acceptance_scale / proposal:
+        Algorithm parameters, forwarded to the core annealer.
+    backend:
+        Crossbar backend (``"behavioral"`` or ``"device"``).
+    variation:
+        Device-variation model applied by the crossbar.
+    tile_size:
+        When given, the matrix is stored on a grid of ``tile_size``-row
+        arrays (:class:`~repro.arch.tiling.TiledCrossbar`) instead of one
+        monolithic crossbar — the multi-array scale-out extension.
+    use_encoder:
+        When True, temperatures are mapped to the 10 mV BG grid through a
+        :class:`VbgEncoder` built from the crossbar's own transfer curve
+        (always the case in the real hardware; optional here so ideal-factor
+        studies are possible).
+    record_cost_trace:
+        Record cumulative energy/time after every iteration (Fig 8b/9b).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        model: IsingModel,
+        config: HardwareConfig | None = None,
+        flips_per_iteration: int = 1,
+        factor: FractionalFactor | None = None,
+        schedule: Schedule | None = None,
+        acceptance_scale: float | str = "auto",
+        proposal: str = "scan",
+        backend: str = "behavioral",
+        variation: VariationModel | None = None,
+        tile_size: int | None = None,
+        use_encoder: bool = True,
+        record_cost_trace: bool = False,
+        record_trace: bool = False,
+        seed=None,
+    ) -> None:
+        if model.has_fields:
+            raise ValueError(
+                "crossbar machines store couplings only; fold fields in via "
+                "model.with_ancilla() first"
+            )
+        self.config = config or HardwareConfig.proposed()
+        self.factor = factor or FractionalFactor()
+        rng = ensure_rng(seed)
+        if tile_size is not None:
+            from repro.arch.tiling import TiledCrossbar
+
+            self.crossbar = TiledCrossbar(
+                model.J,
+                tile_size=tile_size,
+                bits=self.config.quantization_bits,
+                backend=backend,
+                wire=self.config.wire,
+                shift_add=self.config.shift_add,
+                variation=variation,
+                seed=rng,
+            )
+        else:
+            self.crossbar = DgFefetCrossbar(
+                model.J,
+                bits=self.config.quantization_bits,
+                backend=backend,
+                adc=None,  # sized to the array by the crossbar itself
+                wire=self.config.wire,
+                shift_add=self.config.shift_add,
+                variation=variation,
+                seed=rng,
+            )
+        self.mapping = CrossbarMapping.for_matrix(
+            model.J, self.config.quantization_bits, self.config.adc.mux_ratio
+        )
+        # The algorithmic model the controller believes in: the *stored*
+        # image, so software bookkeeping matches the programmed array.
+        self.hw_model = IsingModel(
+            self.crossbar.matrix_hat, None, offset=model.offset, name=model.name
+        )
+        encoder = None
+        if use_encoder:
+            encoder = VbgEncoder(self.factor, transfer=self.crossbar.factor)
+        self.schedule = schedule
+        self.flips_per_iteration = int(flips_per_iteration)
+        self.record_cost_trace = bool(record_cost_trace)
+        self._annealer = InSituAnnealer(
+            self.hw_model,
+            flips_per_iteration=flips_per_iteration,
+            factor=self.factor,
+            schedule=schedule,
+            encoder=encoder,
+            acceptance_scale=acceptance_scale,
+            evaluator=self._evaluate,
+            proposal=proposal,
+            iteration_hook=self._book_iteration,
+            record_trace=record_trace,
+            seed=rng,
+        )
+        self._ledger: Ledger | None = None
+        self._iter_energy: list[float] | None = None
+        self._iter_time: list[float] | None = None
+        self._pending: dict | None = None
+        self._last_vbg: float | None = None
+
+    @property
+    def label(self) -> str:
+        """Machine display name."""
+        return self.config.label
+
+    # ------------------------------------------------------------------
+    # Crossbar evaluation + cost hooks
+    # ------------------------------------------------------------------
+    def _evaluate(self, sigma, flips, sigma_r, sigma_c, v_bg) -> float:
+        v_bg = self.config.bg_dac.snap(v_bg)
+        value, stats = self.crossbar.compute_increment(
+            sigma_r, sigma_c, v_bg, validate=False
+        )
+        cfg = self.config
+        energy = (
+            stats.adc_conversions * cfg.adc.energy_per_conversion
+            + stats.sa_codes * cfg.shift_add.energy_per_code
+            + stats.fg_toggles * cfg.fg_driver.energy_per_toggle
+            + stats.dl_toggles * cfg.dl_driver.energy_per_toggle
+        )
+        time = stats.mux_slots * cfg.adc.time_per_conversion + stats.settle_time
+        bg_updates = 0
+        if self._last_vbg is None or abs(v_bg - self._last_vbg) > 1e-12:
+            bg_updates = 1
+            energy += cfg.bg_dac.energy_per_update
+            time += cfg.bg_dac.time_per_update
+            self._last_vbg = v_bg
+        self._pending = {
+            "adc_energy": stats.adc_conversions * cfg.adc.energy_per_conversion,
+            "adc_time": stats.mux_slots * cfg.adc.time_per_conversion,
+            "sa_energy": stats.sa_codes * cfg.shift_add.energy_per_code,
+            "driver_energy": stats.fg_toggles * cfg.fg_driver.energy_per_toggle
+            + stats.dl_toggles * cfg.dl_driver.energy_per_toggle,
+            "settle_time": stats.settle_time,
+            "bg_updates": bg_updates,
+            "conversions": stats.adc_conversions,
+            "total_energy": energy,
+            "total_time": time,
+        }
+        return value
+
+    def _book_iteration(self, iteration, delta_e, accepted, temperature) -> None:
+        assert self._ledger is not None
+        cfg = self.config
+        pend = self._pending or {
+            "adc_energy": 0.0,
+            "adc_time": 0.0,
+            "sa_energy": 0.0,
+            "driver_energy": 0.0,
+            "settle_time": 0.0,
+            "bg_updates": 0,
+            "conversions": 0,
+            "total_energy": 0.0,
+            "total_time": 0.0,
+        }
+        ledger = self._ledger
+        ledger.add("adc", pend["adc_energy"], pend["adc_time"], pend["conversions"])
+        ledger.add("shift_add", pend["sa_energy"], 0.0)
+        ledger.add("drivers", pend["driver_energy"], pend["settle_time"])
+        if pend["bg_updates"]:
+            ledger.add(
+                "bg_dac",
+                cfg.bg_dac.energy_per_update * pend["bg_updates"],
+                cfg.bg_dac.time_per_update * pend["bg_updates"],
+                pend["bg_updates"],
+            )
+        ledger.add("logic", cfg.logic_energy, cfg.logic_time)
+        if self._iter_energy is not None:
+            total_e = pend["total_energy"] + cfg.logic_energy
+            total_t = pend["total_time"] + cfg.logic_time
+            prev_e = self._iter_energy[-1] if self._iter_energy else 0.0
+            prev_t = self._iter_time[-1] if self._iter_time else 0.0
+            self._iter_energy.append(prev_e + total_e)
+            self._iter_time.append(prev_t + total_t)
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int, initial=None) -> CimRunResult:
+        """Anneal for ``iterations`` and return solution + cost books."""
+        self._ledger = Ledger()
+        self._last_vbg = None
+        self._iter_energy = [] if self.record_cost_trace else None
+        self._iter_time = [] if self.record_cost_trace else None
+        # One-time programming cost, amortised across the run.
+        prog = self.crossbar.programming_summary()
+        self._ledger.add("program", prog["energy"], 0.0, int(prog["write_pulses"]))
+        if self._annealer.schedule is None and self.schedule is None:
+            # Build the default V_BG walk for this run length.
+            self._annealer.schedule = VbgStepSchedule(iterations, factor=self.factor)
+        anneal = self._annealer.run(iterations, initial=initial)
+        self._annealer.schedule = self.schedule  # reset for reuse
+        result = CimRunResult(
+            label=self.label,
+            anneal=anneal,
+            ledger=self._ledger,
+            energy_trace=np.asarray(self._iter_energy) if self.record_cost_trace else None,
+            time_trace=np.asarray(self._iter_time) if self.record_cost_trace else None,
+        )
+        self._ledger = None
+        return result

@@ -1,0 +1,93 @@
+"""Crossbar mapping geometry: matrix → physical array dimensions.
+
+One ``n × n`` coupling matrix maps onto an ``n × (n·k·planes)`` cell array
+(1×k sub-array per element, positive/negative plane split), with one 8:1-
+muxed ADC per ``mux_ratio`` columns.  The machines use this geometry for
+their activity formulas; the bit planes are *interleaved* across mux domains
+so the k columns of a single element land on k different ADCs (this is what
+lets an incremental activation finish in a single conversion slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CrossbarMapping:
+    """Physical geometry of a programmed crossbar.
+
+    Attributes
+    ----------
+    num_spins:
+        Logical matrix dimension ``n`` (array rows).
+    bits:
+        ``k``, bits per element.
+    planes:
+        1 when the matrix is non-negative, 2 when a negative plane exists.
+    mux_ratio:
+        Columns per ADC.
+    """
+
+    num_spins: int
+    bits: int
+    planes: int
+    mux_ratio: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_spins < 1 or self.bits < 1 or self.planes not in (1, 2):
+            raise ValueError("invalid mapping geometry")
+        if self.mux_ratio < 1:
+            raise ValueError("mux_ratio must be >= 1")
+
+    @classmethod
+    def for_matrix(cls, matrix: np.ndarray, bits: int, mux_ratio: int = 8) -> "CrossbarMapping":
+        """Derive the geometry for a coupling matrix."""
+        planes = 2 if np.any(np.asarray(matrix) < 0) else 1
+        return cls(np.asarray(matrix).shape[0], bits, planes, mux_ratio)
+
+    @property
+    def num_columns(self) -> int:
+        """Total physical columns, ``n · k · planes``."""
+        return self.num_spins * self.bits * self.planes
+
+    @property
+    def num_adcs(self) -> int:
+        """ADC count, one per ``mux_ratio`` columns."""
+        return max(1, self.num_columns // self.mux_ratio)
+
+    @property
+    def num_cells(self) -> int:
+        """Total cells in the array."""
+        return self.num_spins * self.num_columns
+
+    def full_activation_conversions(self, phases: int = 2) -> int:
+        """ADC conversions of a direct-E full-array evaluation."""
+        return phases * self.num_columns
+
+    def full_activation_slots(self, phases: int = 2) -> int:
+        """Sequential conversion slots of a full-array evaluation.
+
+        Every ADC serves ``mux_ratio`` columns sequentially.
+        """
+        return phases * self.mux_ratio
+
+    def incremental_conversions(self, active_elements: int, phases: int = 2) -> int:
+        """ADC conversions of an incremental evaluation (|F| elements)."""
+        if active_elements < 0:
+            raise ValueError("active_elements must be >= 0")
+        return phases * active_elements * self.bits * self.planes
+
+    def incremental_slots(self, active_elements: int, phases: int = 2) -> int:
+        """Sequential slots of an incremental evaluation.
+
+        With bit-interleaved column placement the active columns spread over
+        distinct mux domains, so the slot count only grows once the active
+        column count exceeds the ADC population.
+        """
+        active_cols = active_elements * self.bits * self.planes
+        if active_cols == 0:
+            return 0
+        return phases * max(1, -(-active_cols // self.num_adcs))

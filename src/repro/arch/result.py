@@ -1,0 +1,85 @@
+"""Result container for hardware-instrumented annealing runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.ledger import Ledger
+from repro.core.results import AnnealResult
+from repro.utils.units import format_energy, format_time
+
+
+@dataclass
+class CimRunResult:
+    """Outcome of one machine run: solution quality + hardware cost.
+
+    Attributes
+    ----------
+    label:
+        Machine name (e.g. ``"CiM/FPGA baseline"``).
+    anneal:
+        The algorithmic result (solution, traces, acceptance counters).
+    ledger:
+        Per-component energy/time books.
+    energy_trace / time_trace:
+        Optional cumulative hardware cost after each iteration — the data
+        behind the paper's Fig 8b / 9b trend plots.
+    """
+
+    label: str
+    anneal: AnnealResult
+    ledger: Ledger
+    energy_trace: np.ndarray | None = None
+    time_trace: np.ndarray | None = None
+
+    @property
+    def energy(self) -> float:
+        """Total machine energy for the run (joules)."""
+        return self.ledger.total_energy
+
+    @property
+    def time(self) -> float:
+        """Total machine time for the run (seconds)."""
+        return self.ledger.total_time
+
+    @property
+    def programming_energy(self) -> float:
+        """One-time array-programming energy (not part of the iteration loop)."""
+        entry = self.ledger.entries.get("program")
+        return entry.energy if entry else 0.0
+
+    @property
+    def annealing_energy(self) -> float:
+        """Energy of the annealing loop itself (the paper's Fig 8 quantity).
+
+        Excludes the one-time crossbar programming, which is paid once per
+        problem regardless of how many runs/iterations follow.
+        """
+        return self.energy - self.programming_energy
+
+    @property
+    def annealing_time(self) -> float:
+        """Time of the annealing loop (programming happens off-line)."""
+        return self.time
+
+    @property
+    def energy_per_iteration(self) -> float:
+        """Mean energy per annealing iteration."""
+        iters = max(self.anneal.iterations, 1)
+        return self.energy / iters
+
+    @property
+    def time_per_iteration(self) -> float:
+        """Mean time per annealing iteration."""
+        iters = max(self.anneal.iterations, 1)
+        return self.time / iters
+
+    def summary(self) -> str:
+        """One-line cost/quality summary."""
+        return (
+            f"{self.label}: E = {format_energy(self.energy)}, "
+            f"t = {format_time(self.time)}, best model energy "
+            f"{self.anneal.best_energy:.6g} in {self.anneal.iterations} iters"
+        )

@@ -1,0 +1,159 @@
+"""Multi-tile crossbar: scaling beyond one physical array (extension).
+
+The paper evaluates a single crossbar per annealer ("Each annealer contains
+a single crossbar", Sec. 4), which caps the problem size at the array
+dimension.  This extension tiles the coupling matrix over a grid of
+independent DG FeFET arrays:
+
+* ``J`` is split into ``⌈n/s⌉ × ⌈n/s⌉`` blocks of side ``s`` (the physical
+  array rows), each programmed into its own tile;
+* an incremental evaluation activates only the tile-columns holding flipped
+  spins; all activated tiles operate in parallel and their partial sums are
+  combined digitally (one extra adder-tree level);
+* activity counters sum across tiles while the critical path takes the
+  *maximum* slot count of any tile.
+
+The interface mirrors :class:`~repro.circuits.crossbar.DgFefetCrossbar`
+(``matrix_hat``, ``factor``, ``compute_increment``, ``programming_summary``)
+so the in-situ machine can drive a tiled array transparently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.crossbar import ActivationStats, DgFefetCrossbar
+from repro.utils.rng import ensure_rng
+
+
+class TiledCrossbar:
+    """A grid of DG FeFET crossbar tiles storing one coupling matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric coupling matrix of any size.
+    tile_size:
+        Physical array rows/columns per tile (the block side ``s``).
+    bits / backend / wire / shift_add / variation / seed:
+        Forwarded to every tile.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        tile_size: int,
+        bits: int = 4,
+        backend: str = "behavioral",
+        wire=None,
+        shift_add=None,
+        variation=None,
+        seed=None,
+    ) -> None:
+        J = np.asarray(matrix, dtype=np.float64)
+        if J.ndim != 2 or J.shape[0] != J.shape[1]:
+            raise ValueError("matrix must be square")
+        if tile_size < 2:
+            raise ValueError("tile_size must be >= 2")
+        self.n = J.shape[0]
+        self.tile_size = int(tile_size)
+        self.bits = int(bits)
+        self.grid = -(-self.n // self.tile_size)  # ceil division
+        rng = ensure_rng(seed)
+
+        self._bounds: list[tuple[int, int]] = [
+            (i * self.tile_size, min((i + 1) * self.tile_size, self.n))
+            for i in range(self.grid)
+        ]
+        self._tiles: list[list[DgFefetCrossbar]] = []
+        for r0, r1 in self._bounds:
+            row_tiles = []
+            for c0, c1 in self._bounds:
+                block = np.zeros((self.tile_size, self.tile_size))
+                block[: r1 - r0, : c1 - c0] = J[r0:r1, c0:c1]
+                row_tiles.append(
+                    DgFefetCrossbar(
+                        block,
+                        bits=bits,
+                        backend=backend,
+                        wire=wire,
+                        shift_add=shift_add,
+                        variation=variation,
+                        require_symmetric=False,
+                        seed=rng,
+                    )
+                )
+            self._tiles.append(row_tiles)
+
+        # Reassemble the stored image from the tile images.
+        self.matrix_hat = np.zeros_like(J)
+        for i, (r0, r1) in enumerate(self._bounds):
+            for j, (c0, c1) in enumerate(self._bounds):
+                tile_hat = self._tiles[i][j].matrix_hat
+                self.matrix_hat[r0:r1, c0:c1] = tile_hat[: r1 - r0, : c1 - c0]
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count, ``grid²``."""
+        return self.grid * self.grid
+
+    def factor(self, v_bg: float) -> float:
+        """Shared-rail factor (all tiles see the same back-gate voltage)."""
+        return self._tiles[0][0].factor(v_bg)
+
+    def compute_increment(
+        self, sigma_r, sigma_c, v_bg: float, validate: bool = True
+    ) -> tuple[float, ActivationStats]:
+        """Tile-parallel evaluation of ``σ_rᵀ Ĵ σ_c · f(V_BG)``."""
+        r = np.asarray(sigma_r, dtype=np.float64)
+        c = np.asarray(sigma_c, dtype=np.float64)
+        if r.shape != (self.n,) or c.shape != (self.n,):
+            raise ValueError(f"input vectors must have shape ({self.n},)")
+        total = 0.0
+        phases = 0
+        conversions = sa_codes = fg_toggles = dl_toggles = active_cells = 0
+        max_slots = 0
+        max_settle = 0.0
+        pad = self.tile_size
+        active_cols = [
+            j for j, (c0, c1) in enumerate(self._bounds) if np.any(c[c0:c1])
+        ]
+        for j in active_cols:
+            c0, c1 = self._bounds[j]
+            c_slice = np.zeros(pad)
+            c_slice[: c1 - c0] = c[c0:c1]
+            for i, (r0, r1) in enumerate(self._bounds):
+                r_slice = np.zeros(pad)
+                r_slice[: r1 - r0] = r[r0:r1]
+                value, stats = self._tiles[i][j].compute_increment(
+                    r_slice, c_slice, v_bg, validate=validate
+                )
+                total += value
+                phases = max(phases, stats.phases)
+                conversions += stats.adc_conversions
+                sa_codes += stats.sa_codes
+                fg_toggles += stats.fg_toggles
+                dl_toggles += stats.dl_toggles
+                active_cells += stats.active_cells
+                max_slots = max(max_slots, stats.mux_slots)
+                max_settle = max(max_settle, stats.settle_time)
+        return total, ActivationStats(
+            phases=phases,
+            adc_conversions=conversions,
+            mux_slots=max_slots,
+            sa_codes=sa_codes,
+            fg_toggles=fg_toggles,
+            dl_toggles=dl_toggles,
+            active_cells=active_cells,
+            settle_time=max_settle,
+        )
+
+    def programming_summary(self) -> dict[str, float]:
+        """Aggregate one-time programming cost over all tiles."""
+        totals = {"cells": 0.0, "programmed_ones": 0.0, "write_pulses": 0.0, "energy": 0.0}
+        for row in self._tiles:
+            for tile in row:
+                summary = tile.programming_summary()
+                for key in totals:
+                    totals[key] += summary[key]
+        return totals

@@ -1,0 +1,28 @@
+"""Circuit substrate: crossbar, data converters, drivers and parasitics.
+
+Everything between the device compact models and the architecture-level
+annealer machines: k-bit matrix storage, the DG FeFET crossbar with its
+sensing chain (mux → SAR ADC → shift&add → sum), line drivers, the back-gate
+DAC, the baselines' exponent units, and interconnect parasitics.
+"""
+
+from repro.circuits.adc import SarAdc
+from repro.circuits.crossbar import ActivationStats, DgFefetCrossbar
+from repro.circuits.drivers import BackGateDac, LineDriver
+from repro.circuits.exponent_unit import ExponentUnit
+from repro.circuits.interconnect import WireModel
+from repro.circuits.quantize import MatrixQuantizer, QuantizedMatrix
+from repro.circuits.shift_add import ShiftAddUnit
+
+__all__ = [
+    "SarAdc",
+    "DgFefetCrossbar",
+    "ActivationStats",
+    "LineDriver",
+    "BackGateDac",
+    "ExponentUnit",
+    "WireModel",
+    "MatrixQuantizer",
+    "QuantizedMatrix",
+    "ShiftAddUnit",
+]

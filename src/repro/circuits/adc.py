@@ -1,0 +1,81 @@
+"""SAR ADC model (the 8-to-1 multiplexed converter of ref [36], 22 nm-scaled).
+
+The ADC is the dominant sensing cost in every CiM annealer the paper
+compares (Fig 8a/9a break energy into ``e^x`` and ``ADC`` shares).  This
+model captures the three things the architecture study needs:
+
+* **quantization** — currents are digitised against a fixed full scale with
+  ``bits`` of resolution (monotone, ≤ ½ LSB error in range, saturating);
+* **energy** — a constant per conversion;
+* **latency** — a constant per conversion (one *mux slot*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SarAdc:
+    """A successive-approximation ADC with an 8-to-1 input multiplexer.
+
+    Parameters
+    ----------
+    bits:
+        Resolution in bits.
+    full_scale:
+        Input full scale in amperes; codes saturate above it.
+    energy_per_conversion:
+        Joules per conversion (0.25 pJ default — 13 b SAR of [36] scaled to
+        the 22 nm node and the short word the annealer needs).
+    time_per_conversion:
+        Seconds per conversion (one multiplexer slot; 25 ns ≈ 40 MS/s [36]).
+    mux_ratio:
+        Number of columns sharing this ADC through the analog mux.
+    """
+
+    bits: int = 13
+    full_scale: float = 1.0e-5
+    energy_per_conversion: float = 0.25 * PICO
+    time_per_conversion: float = 25.0 * NANO
+    mux_ratio: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 1 or self.bits > 24:
+            raise ValueError(f"bits must be in [1, 24], got {self.bits}")
+        check_positive("full_scale", self.full_scale)
+        check_positive("energy_per_conversion", self.energy_per_conversion)
+        check_positive("time_per_conversion", self.time_per_conversion)
+        if self.mux_ratio < 1:
+            raise ValueError("mux_ratio must be >= 1")
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes, ``2**bits``."""
+        return 1 << self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Input amperes per code step."""
+        return self.full_scale / (self.levels - 1)
+
+    def convert(self, current) -> np.ndarray:
+        """Digitise input current(s) to integer codes (saturating)."""
+        i = np.asarray(current, dtype=np.float64)
+        if np.any(i < -self.lsb):
+            raise ValueError("ADC input current must be non-negative")
+        codes = np.rint(np.clip(i, 0.0, self.full_scale) / self.lsb)
+        return codes.astype(np.int64)
+
+    def to_current(self, codes) -> np.ndarray:
+        """Reconstruct the analog value a code represents (code · LSB)."""
+        return np.asarray(codes, dtype=np.float64) * self.lsb
+
+    def quantize(self, current) -> np.ndarray:
+        """Round-trip ``convert`` + ``to_current``: the sensed analog value."""
+        return self.to_current(self.convert(current))

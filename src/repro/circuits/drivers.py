@@ -1,0 +1,89 @@
+"""Line drivers and the back-gate DAC.
+
+Driver energy is transition energy: a line that holds its value between
+iterations costs nothing (``C·V²`` is paid on toggles).  This matters for
+the proposed annealer — between iterations only the lines of *changed* spins
+toggle, which is why its per-iteration energy stays flat while the direct-E
+baselines re-drive and re-sense the whole array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import FEMTO, NANO, PICO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LineDriver:
+    """A binary word/bit-line driver charging a wire of ``capacitance``.
+
+    Parameters
+    ----------
+    capacitance:
+        Lumped line capacitance (farads).
+    swing:
+        Voltage swing (volts).
+    time_constant:
+        Settling time added to an array activation when this line toggles.
+    """
+
+    capacitance: float = 30.0 * FEMTO
+    swing: float = 1.0
+    time_constant: float = 0.5 * NANO
+
+    def __post_init__(self) -> None:
+        check_positive("capacitance", self.capacitance)
+        check_positive("swing", self.swing)
+        check_positive("time_constant", self.time_constant)
+
+    @property
+    def energy_per_toggle(self) -> float:
+        """Dynamic energy for one full-swing transition, ``C·V²``."""
+        return self.capacitance * self.swing * self.swing
+
+    def energy(self, toggles: int) -> float:
+        """Energy for ``toggles`` line transitions."""
+        if toggles < 0:
+            raise ValueError("toggles must be >= 0")
+        return toggles * self.energy_per_toggle
+
+
+@dataclass(frozen=True)
+class BackGateDac:
+    """The analog back-gate driver realising the ``V_BG`` temperature knob.
+
+    One *update* reprograms the shared BG rail to a new 10 mV-grid level
+    (paper Sec. 3.4); between updates the rail holds its value for free.
+    """
+
+    energy_per_update: float = 1.0 * PICO
+    time_per_update: float = 2.0 * NANO
+    v_min: float = 0.0
+    v_max: float = 0.7
+    step: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("energy_per_update", self.energy_per_update)
+        check_positive("time_per_update", self.time_per_update)
+        check_positive("step", self.step)
+        if self.v_max <= self.v_min:
+            raise ValueError("v_max must exceed v_min")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct rail levels on the step grid."""
+        return int(round((self.v_max - self.v_min) / self.step)) + 1
+
+    def snap(self, v_bg: float) -> float:
+        """Snap a requested voltage onto the DAC grid (clamped to range)."""
+        v = min(max(float(v_bg), self.v_min), self.v_max)
+        steps = round((v - self.v_min) / self.step)
+        return self.v_min + steps * self.step
+
+    def energy(self, updates: int) -> float:
+        """Energy for ``updates`` rail reprogrammings."""
+        if updates < 0:
+            raise ValueError("updates must be >= 0")
+        return updates * self.energy_per_update

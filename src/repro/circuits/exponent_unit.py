@@ -1,0 +1,67 @@
+"""Exponential-function units used by the direct-E baseline annealers.
+
+The CiM/FPGA and CiM/ASIC baselines (paper Sec. 4) evaluate the Metropolis
+factor ``exp(−ΔE/T)`` for every uphill move, on the exponent hardware of
+ref [18].  The proposed design's whole point is eliminating this unit, so
+its per-evaluation energy/latency show up directly in the Fig 8/9 gaps.
+
+The functional evaluation uses a fixed-point piecewise-second-order scheme
+(the style of [18]); its numerical error is tiny compared to annealing noise
+but is modelled so the baseline is not unrealistically exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import NANO, PICO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ExponentUnit:
+    """Hardware ``e^x`` evaluator (for x ≤ 0, the Metropolis range).
+
+    Parameters
+    ----------
+    energy_per_eval:
+        Joules per evaluation.
+    time_per_eval:
+        Seconds per evaluation.
+    fraction_bits:
+        Fixed-point fractional bits of the output (quantises the result).
+    label:
+        ``"fpga"`` or ``"asic"`` in the paper's comparison.
+    """
+
+    energy_per_eval: float
+    time_per_eval: float
+    fraction_bits: int = 12
+    label: str = "exp-unit"
+
+    def __post_init__(self) -> None:
+        check_positive("energy_per_eval", self.energy_per_eval)
+        check_positive("time_per_eval", self.time_per_eval)
+        if not 1 <= self.fraction_bits <= 30:
+            raise ValueError("fraction_bits must be in [1, 30]")
+
+    @classmethod
+    def fpga(cls) -> "ExponentUnit":
+        """The FPGA implementation of [18] (throughput-oriented, costly)."""
+        return cls(energy_per_eval=2790.0 * PICO, time_per_eval=12.0 * NANO, label="fpga")
+
+    @classmethod
+    def asic(cls) -> "ExponentUnit":
+        """The area-efficient ASIC implementation of [18] at 22 nm."""
+        return cls(energy_per_eval=84.0 * PICO, time_per_eval=8.0 * NANO, label="asic")
+
+    def evaluate(self, x) -> np.ndarray:
+        """Evaluate ``e^x`` (x ≤ 0) with fixed-point output quantisation."""
+        arr = np.asarray(x, dtype=np.float64)
+        if np.any(arr > 1e-12):
+            raise ValueError("ExponentUnit evaluates e^x for x <= 0 only")
+        exact = np.exp(arr)
+        scale = float(1 << self.fraction_bits)
+        return np.rint(exact * scale) / scale

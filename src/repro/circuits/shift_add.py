@@ -1,0 +1,61 @@
+"""Shift-and-add / summation digital back-end of the crossbar read path.
+
+After the ADC digitises the ``k`` bit-plane columns of a matrix element, the
+S&A recombines them with binary weights and the per-column sign metadata
+(σ_c sign × plane sign), and the final Sum aggregates all element groups
+(paper Fig 6d).  Functionally this is exact integer arithmetic; the model
+adds per-operation energy/latency so the ledgers can account for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import FEMTO, NANO
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ShiftAddUnit:
+    """Binary-weight recombiner for ``k`` bit-plane codes.
+
+    Parameters
+    ----------
+    energy_per_code:
+        Joules per shifted-and-accumulated code.
+    time_per_group:
+        Seconds to fold one k-column group (pipelined with sensing, so it
+        only appears once per activation in the timing model).
+    """
+
+    energy_per_code: float = 5.0 * FEMTO
+    time_per_group: float = 1.0 * NANO
+
+    def __post_init__(self) -> None:
+        check_positive("energy_per_code", self.energy_per_code)
+        check_positive("time_per_group", self.time_per_group)
+
+    def combine(self, codes, signs=None) -> float:
+        """Fold codes of shape ``(k,)`` or ``(k, groups)`` into a value.
+
+        ``signs`` (broadcastable to the group axis) carries the per-column
+        sign metadata; the result is ``Σ_g sign_g Σ_b 2^b code[b, g]``.
+        """
+        arr = np.asarray(codes, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, np.newaxis]
+        if arr.ndim != 2:
+            raise ValueError(f"codes must be 1-D or 2-D, got shape {arr.shape}")
+        weights = (2.0 ** np.arange(arr.shape[0]))[:, np.newaxis]
+        per_group = (weights * arr).sum(axis=0)
+        if signs is not None:
+            per_group = per_group * np.asarray(signs, dtype=np.float64)
+        return float(per_group.sum())
+
+    def energy(self, codes_folded: int) -> float:
+        """Energy for folding ``codes_folded`` ADC codes."""
+        if codes_folded < 0:
+            raise ValueError("codes_folded must be >= 0")
+        return codes_folded * self.energy_per_code

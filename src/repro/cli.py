@@ -1,0 +1,199 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``generate``  write a synthetic Gset-class instance to a file
+``solve``     solve a Gset-format Max-Cut instance with a chosen annealer
+``compare``   run all three machines on an instance and print the ledgers
+``curves``    print the device transfer curves behind Fig 2/6
+``suite``     list the 30-instance paper evaluation suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args) -> int:
+    from repro.ising import generate_random, generate_skew, generate_toroidal, write_gset
+
+    if args.family == "random":
+        problem = generate_random(args.nodes, args.edges, args.weighted, args.seed)
+    elif args.family == "skew":
+        problem = generate_skew(args.nodes, args.edges, args.weighted, args.seed)
+    else:
+        side = int(round(args.nodes**0.5))
+        problem = generate_toroidal(side, args.nodes // side, args.weighted, args.seed)
+    write_gset(problem, args.output)
+    print(f"wrote {problem.name}: n={problem.num_nodes} m={problem.num_edges} "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.analysis import compute_reference_cut
+    from repro.core import solve_maxcut
+    from repro.ising import parse_gset
+
+    problem = parse_gset(args.instance, name=args.instance)
+    reference = None
+    if args.reference:
+        reference = compute_reference_cut(problem, restarts=2)
+    result = solve_maxcut(
+        problem,
+        method=args.method,
+        iterations=args.iterations,
+        seed=args.seed,
+        reference_cut=reference,
+        flips_per_iteration=args.flips,
+    )
+    print(result.summary())
+    if reference is not None:
+        print(f"reference cut {reference:g}; success(≥0.9): {result.is_success()}")
+    if args.partition:
+        left, right = problem.partition(result.anneal.best_sigma)
+        print(f"partition sizes: {len(left)} / {len(right)}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.arch import DirectECimAnnealer, HardwareConfig, InSituCimAnnealer
+    from repro.ising import parse_gset
+    from repro.utils.tables import render_table
+    from repro.utils.units import format_energy, format_time
+
+    problem = parse_gset(args.instance, name=args.instance)
+    model = problem.to_ising()
+    machines = {
+        "This work": InSituCimAnnealer(model, seed=args.seed),
+        "CiM/FPGA": DirectECimAnnealer(model, HardwareConfig.baseline_fpga(), seed=args.seed),
+        "CiM/ASIC": DirectECimAnnealer(model, HardwareConfig.baseline_asic(), seed=args.seed),
+    }
+    rows = []
+    ours_energy = ours_time = None
+    for label, machine in machines.items():
+        result = machine.run(args.iterations)
+        cut = problem.cut_from_energy(result.anneal.best_energy)
+        if ours_energy is None:
+            ours_energy, ours_time = result.annealing_energy, result.annealing_time
+        rows.append(
+            (
+                label,
+                f"{cut:g}",
+                format_energy(result.annealing_energy),
+                format_time(result.annealing_time),
+                f"{result.annealing_energy / ours_energy:.0f}x",
+                f"{result.annealing_time / ours_time:.2f}x",
+            )
+        )
+    print(render_table(
+        ["machine", "best cut", "energy", "time", "E ratio", "t ratio"],
+        rows,
+        title=f"{problem.name} — {args.iterations} iterations",
+    ))
+    return 0
+
+
+def _cmd_curves(args) -> int:
+    from repro.devices import DGFeFET, FeFET
+    from repro.utils.tables import render_series
+
+    if args.device == "fefet":
+        fefet = FeFET()
+        vg = np.linspace(-0.5, 1.5, args.points)
+        fefet.program_bit(1)
+        on = fefet.id_vg(vg)
+        fefet.program_bit(0)
+        off = fefet.id_vg(vg)
+        print(render_series(
+            "V_G (V)", [float(v) for v in vg],
+            {"low-VTH (A)": on.tolist(), "high-VTH (A)": off.tolist()},
+            title="FeFET I_D-V_G (Fig 2b)", float_fmt="{:.3e}",
+        ))
+    else:
+        cell = DGFeFET()
+        cell.program_bit(1)
+        vbg = np.linspace(0.0, 0.7, args.points)
+        isl = cell.isl_vbg(vbg)
+        norm = cell.normalized_factor(vbg)
+        print(render_series(
+            "V_BG (V)", [float(v) for v in vbg],
+            {"I_SL (A)": isl.tolist(), "normalised": norm.tolist()},
+            title="DG FeFET I_SL-V_BG (Fig 6b/6c)", float_fmt="{:.3e}",
+        ))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.ising import paper_instance_suite
+    from repro.utils.tables import render_table
+
+    rows = [
+        (s.name, s.nodes, s.family, s.edges, s.weighted, s.seed, s.iterations)
+        for s in paper_instance_suite()
+    ]
+    print(render_table(
+        ["name", "nodes", "family", "edges", "±1", "seed", "iterations"],
+        rows,
+        title="Paper evaluation suite (30 instances)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ferroelectric CiM in-situ annealer (DAC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a Gset-class instance")
+    gen.add_argument("output", help="output path (Gset text format)")
+    gen.add_argument("--nodes", type=int, default=800)
+    gen.add_argument("--edges", type=int, default=19_176)
+    gen.add_argument("--family", choices=("random", "skew", "toroidal"), default="random")
+    gen.add_argument("--weighted", action="store_true", help="±1 edge weights")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    solve = sub.add_parser("solve", help="solve a Gset-format instance")
+    solve.add_argument("instance", help="path to a Gset file")
+    solve.add_argument("--method", choices=("insitu", "sa", "mesa"), default="insitu")
+    solve.add_argument("--iterations", type=int, default=10_000)
+    solve.add_argument("--flips", type=int, default=1)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--reference", action="store_true",
+                       help="also compute a best-known reference cut")
+    solve.add_argument("--partition", action="store_true",
+                       help="print the partition sizes")
+    solve.set_defaults(func=_cmd_solve)
+
+    cmp_ = sub.add_parser("compare", help="run the three machines on an instance")
+    cmp_.add_argument("instance", help="path to a Gset file")
+    cmp_.add_argument("--iterations", type=int, default=1_000)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.set_defaults(func=_cmd_compare)
+
+    curves = sub.add_parser("curves", help="print device transfer curves")
+    curves.add_argument("--device", choices=("fefet", "dgfefet"), default="dgfefet")
+    curves.add_argument("--points", type=int, default=15)
+    curves.set_defaults(func=_cmd_curves)
+
+    suite = sub.add_parser("suite", help="list the paper evaluation suite")
+    suite.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

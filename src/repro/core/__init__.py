@@ -1,0 +1,75 @@
+"""The paper's core contribution: incremental-E + fractional in-situ annealing.
+
+* :mod:`repro.core.incremental` — the O(n) incremental-E transformation;
+* :mod:`repro.core.factors` — fractional factor ``f(T)``, Metropolis
+  exponential factor, fitting, and the temperature→V_BG encoder;
+* :mod:`repro.core.schedule` — back-gate and conventional schedules;
+* :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
+* :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
+* :mod:`repro.core.solver` — one-call high-level API.
+"""
+
+from repro.core.annealer import InSituAnnealer
+from repro.core.batch import (
+    BatchAnnealResult,
+    BatchDirectEAnnealer,
+    BatchInSituAnnealer,
+)
+from repro.core.factors import (
+    ExponentialFactor,
+    FractionalFactor,
+    VbgEncoder,
+    fit_fractional_factor,
+)
+from repro.core.incremental import (
+    apply_flips,
+    cross_term,
+    decompose,
+    delta_energy,
+    flip_mask,
+    incremental_vectors,
+    num_product_terms,
+)
+from repro.core.mesa import MesaAnnealer
+from repro.core.results import AnnealResult, MaxCutResult
+from repro.core.sa import DirectEAnnealer, estimate_temperature_range
+from repro.core.schedule import (
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    ReverseVbgSchedule,
+    Schedule,
+    VbgStepSchedule,
+)
+from repro.core.solver import solve_ising, solve_maxcut
+
+__all__ = [
+    "InSituAnnealer",
+    "BatchInSituAnnealer",
+    "BatchDirectEAnnealer",
+    "BatchAnnealResult",
+    "DirectEAnnealer",
+    "MesaAnnealer",
+    "AnnealResult",
+    "MaxCutResult",
+    "FractionalFactor",
+    "ExponentialFactor",
+    "VbgEncoder",
+    "fit_fractional_factor",
+    "Schedule",
+    "ConstantSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "VbgStepSchedule",
+    "ReverseVbgSchedule",
+    "estimate_temperature_range",
+    "flip_mask",
+    "apply_flips",
+    "decompose",
+    "incremental_vectors",
+    "cross_term",
+    "delta_energy",
+    "num_product_terms",
+    "solve_ising",
+    "solve_maxcut",
+]

@@ -1,0 +1,269 @@
+"""The in-situ annealing flow — Algorithm 1 of the paper.
+
+Each iteration: select ``t = |F|`` spins, form ``σ_new``/``σ_r``/``σ_c``,
+evaluate ``E_inc = σ_rᵀJσ_c · f(T)`` (in hardware: one crossbar activation),
+then accept when ``E_inc ≤ 0`` or when ``E_inc ≤ rand(0, 1)``; finally step
+the temperature along the back-gate schedule.
+
+This module is the *software reference*: it computes exactly what the
+behavioural crossbar computes, but with O(t) local-field arithmetic per
+proposal so the 3000-spin / 100 000-iteration benches run in seconds.  The
+hardware-in-the-loop variant (:mod:`repro.arch.cim_annealer`) plugs a
+crossbar in through the ``evaluator`` hook and inherits the identical
+proposal/acceptance logic, so software and hardware trajectories coincide
+for ideal arrays.
+
+Reproduction notes (DESIGN.md §2):
+
+* the run tracks the best configuration seen — the controller keeps the
+  running energy up to date at O(1)/iteration anyway (``E ← E + ΔE``);
+* ``acceptance_scale`` is the sensed-value gain of the read-out chain (the
+  comparison against ``rand(0,1)`` happens in normalised hardware units, so
+  the current-to-digital scaling is a free design parameter; ``"auto"``
+  picks a gain that makes the smallest coupling step significant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.factors import FractionalFactor, VbgEncoder
+from repro.core.proposal import FlipSelector
+from repro.core.results import AnnealResult
+from repro.core.schedule import Schedule, VbgStepSchedule
+from repro.ising.model import IsingModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_spin_vector
+
+
+def _auto_scale(J: np.ndarray) -> float:
+    """Read-out gain making the typical coupling magnitude ~O(1).
+
+    Chosen so a minimal uphill move stays rejected until the factor has
+    decayed well below 0.1 — the greedy-first regime that gives the
+    fractional flow its fast convergence at tight iteration budgets (the
+    gain ablation bench sweeps this).
+    """
+    off = np.abs(J[~np.eye(J.shape[0], dtype=bool)])
+    nonzero = off[off > 0]
+    if nonzero.size == 0:
+        return 1.0
+    return 15.0 / float(np.median(nonzero))
+
+
+class InSituAnnealer:
+    """Algorithm 1: tunable back-gate in-situ annealing.
+
+    Parameters
+    ----------
+    model:
+        The Ising model to minimise (fields are folded in exactly through
+        the ``2hᵀσ_c`` term).
+    flips_per_iteration:
+        ``t = |F|``, the constant flip-set size (paper keeps it constant so
+        the VMV stays O(n)).
+    factor:
+        The fractional annealing factor; default is the published one.
+    schedule:
+        Back-gate schedule; default walks 0.7 V → 0 V evenly over the run.
+    encoder:
+        Optional :class:`VbgEncoder` realising ``f`` through a device
+        transfer curve (adds the 10 mV quantisation of the real rail).
+    acceptance_scale:
+        Read-out gain applied to ``E_inc`` before the ``rand`` comparison,
+        or ``"auto"``.
+    evaluator:
+        Optional hardware hook ``evaluator(sigma, flips, sigma_r, sigma_c,
+        v_bg) -> sensed value`` replacing the exact ``σ_rᵀJσ_c · f``
+        computation (used by the CiM machine).
+    proposal:
+        ``"scan"`` (default) walks a per-sweep random permutation — the
+        hardware-natural sequential address counter, which guarantees every
+        spin is visited once per sweep; ``"random"`` draws flip sets
+        independently each iteration (classic Metropolis).  The proposal
+        ablation bench quantifies the difference.
+    iteration_hook:
+        Optional callable ``hook(iteration, delta_e, accepted, temperature)``
+        fired after each accept decision; the hardware machines use it to
+        book per-iteration costs.
+    track_best / record_trace:
+        Bookkeeping switches.
+    seed:
+        RNG seed (flip selection and acceptance draws).
+    """
+
+    name = "in-situ CiM annealer"
+
+    def __init__(
+        self,
+        model: IsingModel,
+        flips_per_iteration: int = 1,
+        factor: FractionalFactor | None = None,
+        schedule: Schedule | None = None,
+        encoder: VbgEncoder | None = None,
+        acceptance_scale: float | str = "auto",
+        evaluator=None,
+        proposal: str = "scan",
+        iteration_hook=None,
+        track_best: bool = True,
+        record_trace: bool = False,
+        seed=None,
+    ) -> None:
+        self.model = model
+        self.n = model.num_spins
+        t = int(flips_per_iteration)
+        if not 1 <= t <= self.n:
+            raise ValueError(f"flips_per_iteration must be in [1, {self.n}]")
+        self.flips_per_iteration = t
+        self.factor = factor or FractionalFactor()
+        self.schedule = schedule
+        self.encoder = encoder
+        if acceptance_scale == "auto":
+            self.acceptance_scale = _auto_scale(model.J)
+        else:
+            self.acceptance_scale = float(acceptance_scale)
+            if self.acceptance_scale <= 0:
+                raise ValueError("acceptance_scale must be positive")
+        self.evaluator = evaluator
+        self.proposal = proposal
+        self.iteration_hook = iteration_hook
+        self.track_best = bool(track_best)
+        self.record_trace = bool(record_trace)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _build_schedule(self, iterations: int) -> Schedule:
+        if self.schedule is not None:
+            if self.schedule.iterations != iterations:
+                raise ValueError(
+                    "schedule length does not match requested iterations"
+                )
+            return self.schedule
+        return VbgStepSchedule(iterations, factor=self.factor)
+
+    def _factor_at(self, temperature: float) -> float:
+        if self.encoder is not None:
+            return self.encoder.realized_factor(temperature)
+        return float(self.factor.value(np.asarray(temperature)))
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int, initial=None) -> AnnealResult:
+        """Execute the annealing flow and return the result.
+
+        Parameters
+        ----------
+        iterations:
+            Number of proposal/accept iterations (the paper's per-size
+            budgets live in ``repro.ising.PAPER_ITERATIONS``).
+        initial:
+            Optional starting ±1 configuration (default: uniform random).
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        schedule = self._build_schedule(iterations)
+        rng = self._rng
+        J = self.model.J
+        h = self.model.h
+        t = self.flips_per_iteration
+
+        if initial is None:
+            sigma = self.model.random_configuration(rng).astype(np.float64)
+        else:
+            sigma = check_spin_vector(initial, self.n).astype(np.float64)
+        g = J @ sigma
+        energy = float(sigma @ g + h @ sigma) + self.model.offset
+        best_energy = energy
+        best_sigma = sigma.copy()
+
+        accepted = 0
+        uphill_accepted = 0
+        uphill_proposals = 0
+        trace = np.empty(iterations, dtype=np.float64) if self.record_trace else None
+        best_trace = np.empty(iterations, dtype=np.float64) if self.record_trace else None
+        vbg_fn = getattr(schedule, "vbg", None)
+        has_fields = self.model.has_fields
+        selector = FlipSelector(self.n, t, self.proposal, rng)
+
+        for it in range(iterations):
+            temperature = schedule.temperature(it)
+            f_value = self._factor_at(temperature)
+            flips = selector.next()
+
+            # σ_rᵀ J σ_c through the cached local fields: for each flipped
+            # column j, subtract the contribution of other flipped rows.
+            sig_f = sigma[flips]
+            if t == 1:
+                j0 = int(flips[0])
+                cross = -sig_f[0] * (g[j0] - J[j0, j0] * sig_f[0])
+            else:
+                sub = J[np.ix_(flips, flips)] @ sig_f
+                cross = float(-(sig_f * (g[flips] - sub)).sum())
+            field_term = float(-(h[flips] * sig_f).sum()) if has_fields else 0.0
+            delta_e = 4.0 * cross + 2.0 * field_term
+
+            if self.evaluator is not None:
+                # σ_r/σ_c built in place (no validation — sigma is ±1 by
+                # construction); equivalent to `incremental_vectors`.
+                sigma_c = np.zeros(self.n, dtype=np.float64)
+                sigma_c[flips] = -sig_f
+                sigma_r = sigma.copy()
+                sigma_r[flips] = 0.0
+                # The BG encoder picks the rail level realising f(T) on the
+                # physical transfer curve (paper Fig 3c); without one, fall
+                # back to the schedule's raw V_BG walk / linear map.
+                if self.encoder is not None:
+                    v_bg = self.encoder.encode(temperature)
+                elif vbg_fn is not None:
+                    v_bg = float(vbg_fn(it))
+                else:
+                    v_bg = float(self.factor.vbg_for_temperature(temperature))
+                sensed = self.evaluator(sigma, flips, sigma_r, sigma_c, v_bg)
+                # Field contribution scaled like the sensed part (a field is
+                # physically an ancilla row passing through the same array).
+                e_inc = (sensed + field_term / 2.0 * f_value) * self.acceptance_scale
+            else:
+                e_inc = (cross + field_term / 2.0) * f_value * self.acceptance_scale
+
+            if delta_e > 0:
+                uphill_proposals += 1
+            accept = e_inc <= 0.0 or e_inc <= rng.random()
+            if accept:
+                accepted += 1
+                if delta_e > 0:
+                    uphill_accepted += 1
+                # Rank-t update of state, fields and running energy.
+                g -= 2.0 * (J[:, flips] @ sig_f)
+                sigma[flips] = -sig_f
+                energy += delta_e
+                if self.track_best and energy < best_energy:
+                    best_energy = energy
+                    best_sigma = sigma.copy()
+            if self.iteration_hook is not None:
+                self.iteration_hook(it, delta_e, accept, temperature)
+            if trace is not None:
+                trace[it] = energy
+                best_trace[it] = best_energy
+
+        if not self.track_best or energy < best_energy:
+            best_energy = energy
+            best_sigma = sigma.copy()
+        return AnnealResult(
+            solver=self.name,
+            sigma=sigma.astype(np.int8),
+            energy=energy,
+            best_sigma=best_sigma.astype(np.int8),
+            best_energy=best_energy,
+            iterations=iterations,
+            accepted=accepted,
+            uphill_accepted=uphill_accepted,
+            uphill_proposals=uphill_proposals,
+            exponent_evaluations=0,
+            energy_trace=trace,
+            best_trace=best_trace,
+            metadata={
+                "flips_per_iteration": t,
+                "acceptance_scale": self.acceptance_scale,
+                "factor": self.factor,
+                "proposal": self.proposal,
+            },
+        )

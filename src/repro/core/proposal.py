@@ -1,0 +1,60 @@
+"""Flip-set proposal strategies shared by the annealers.
+
+Two hardware-honest ways to "select t elements" (Algorithm 1, line 3):
+
+* ``"scan"`` — walk a fresh random permutation each sweep and take the next
+  ``t`` addresses per iteration.  In hardware this is an address counter
+  over a shuffled index table: every spin is proposed exactly once per
+  sweep, which matters a lot at the paper's tight iteration budgets
+  (700 iterations for 800 spins is less than one sweep).
+* ``"random"`` — draw ``t`` distinct uniform indices per iteration (the
+  textbook Metropolis move; an LFSR in hardware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PROPOSAL_MODES = ("scan", "random")
+
+
+class FlipSelector:
+    """Stateful generator of flip-index sets.
+
+    Parameters
+    ----------
+    n:
+        Number of spins.
+    flips:
+        ``t``, the number of indices per proposal.
+    mode:
+        ``"scan"`` or ``"random"`` (see module docstring).
+    rng:
+        Source of randomness (permutation shuffling / uniform draws).
+    """
+
+    def __init__(self, n: int, flips: int, mode: str, rng: np.random.Generator) -> None:
+        if mode not in PROPOSAL_MODES:
+            raise ValueError(f"proposal mode must be one of {PROPOSAL_MODES}")
+        if not 1 <= flips <= n:
+            raise ValueError(f"flips must be in [1, {n}]")
+        self.n = int(n)
+        self.flips = int(flips)
+        self.mode = mode
+        self._rng = rng
+        self._order: np.ndarray | None = None
+        self._ptr = 0
+
+    def next(self) -> np.ndarray:
+        """Return the next flip-index set (length ``flips``, unique)."""
+        if self.mode == "random":
+            if self.flips == 1:
+                return np.array([self._rng.integers(self.n)], dtype=np.intp)
+            return self._rng.choice(self.n, size=self.flips, replace=False).astype(np.intp)
+        # scan mode: consume a permuted order, reshuffling per sweep.
+        if self._order is None or self._ptr + self.flips > self.n:
+            self._order = self._rng.permutation(self.n)
+            self._ptr = 0
+        out = self._order[self._ptr : self._ptr + self.flips]
+        self._ptr += self.flips
+        return out.astype(np.intp)

@@ -1,0 +1,182 @@
+"""Temperature / back-gate schedules for the annealing flows.
+
+The proposed annealer walks the back-gate voltage down a 10 mV grid
+(Sec. 3.4): ``V_BG`` starts at 0.7 V, holds each level for a preset number
+of iterations, and the run terminates when it reaches 0 V.  The direct-E
+baselines use conventional temperature schedules (geometric by default).
+
+All schedules map ``iteration → temperature``; the V_BG schedule also
+exposes the voltage grid so the hardware machine can count DAC updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.factors import FractionalFactor
+from repro.devices.constants import VBG_MAX, VBG_MIN, VBG_STEP
+from repro.utils.validation import check_positive
+
+
+class Schedule:
+    """Base interface: ``temperature(iteration)`` over a fixed length."""
+
+    def __init__(self, iterations: int) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = int(iterations)
+
+    def temperature(self, iteration: int) -> float:
+        """Temperature at a (0-based) iteration index."""
+        raise NotImplementedError
+
+    def profile(self) -> np.ndarray:
+        """The full temperature trace, length ``iterations``."""
+        return np.array([self.temperature(i) for i in range(self.iterations)])
+
+
+class ConstantSchedule(Schedule):
+    """Fixed temperature — useful for equilibrium tests."""
+
+    def __init__(self, iterations: int, temperature: float) -> None:
+        super().__init__(iterations)
+        self._t = float(temperature)
+        if self._t < 0:
+            raise ValueError("temperature must be >= 0")
+
+    def temperature(self, iteration: int) -> float:
+        self._check(iteration)
+        return self._t
+
+    def _check(self, iteration: int) -> None:
+        if not 0 <= iteration < self.iterations:
+            raise IndexError(f"iteration {iteration} outside schedule")
+
+
+class GeometricSchedule(Schedule):
+    """Classic SA cooling ``T_i = T_0 · α^i`` clipped below at ``t_end``."""
+
+    def __init__(
+        self, iterations: int, t_start: float, t_end: float, alpha: float | None = None
+    ) -> None:
+        super().__init__(iterations)
+        check_positive("t_start", t_start)
+        check_positive("t_end", t_end)
+        if t_end > t_start:
+            raise ValueError("t_end must not exceed t_start")
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+        if alpha is None:
+            # Reach t_end exactly on the final iteration.
+            span = max(self.iterations - 1, 1)
+            alpha = (self.t_end / self.t_start) ** (1.0 / span)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def temperature(self, iteration: int) -> float:
+        if not 0 <= iteration < self.iterations:
+            raise IndexError(f"iteration {iteration} outside schedule")
+        return max(self.t_start * self.alpha**iteration, self.t_end)
+
+
+class LinearSchedule(Schedule):
+    """Linear ramp from ``t_start`` down to ``t_end``."""
+
+    def __init__(self, iterations: int, t_start: float, t_end: float = 0.0) -> None:
+        super().__init__(iterations)
+        if t_start < t_end:
+            raise ValueError("t_start must be >= t_end")
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+
+    def temperature(self, iteration: int) -> float:
+        if not 0 <= iteration < self.iterations:
+            raise IndexError(f"iteration {iteration} outside schedule")
+        if self.iterations == 1:
+            return self.t_start
+        frac = iteration / (self.iterations - 1)
+        return self.t_start + (self.t_end - self.t_start) * frac
+
+
+class VbgStepSchedule(Schedule):
+    """The paper's tunable-BG schedule (Sec. 3.4).
+
+    ``V_BG`` starts at ``v_start`` and steps down by ``step`` after every
+    ``hold`` iterations ("T decreases only after a pre-set number of
+    iterations"); once it reaches ``v_end`` it stays there for the remainder
+    ("once V_BG reaches 0 V it remains at zero, terminating the annealing").
+    Temperatures are recovered through the factor's linear V_BG ↔ T map.
+
+    Parameters
+    ----------
+    iterations:
+        Total annealing iterations.
+    factor:
+        The fractional factor providing the V_BG ↔ T correspondence.
+    v_start / v_end / step:
+        Grid walk parameters (defaults: 0.7 V → 0 V in 10 mV steps).
+    hold:
+        Iterations per level; default spreads the full walk evenly over the
+        run so the last level is reached at the end.
+    """
+
+    def __init__(
+        self,
+        iterations: int,
+        factor: FractionalFactor | None = None,
+        v_start: float = VBG_MAX,
+        v_end: float = VBG_MIN,
+        step: float = VBG_STEP,
+        hold: int | None = None,
+    ) -> None:
+        super().__init__(iterations)
+        check_positive("step", step)
+        if not v_end <= v_start:
+            raise ValueError("v_start must be >= v_end")
+        self.factor = factor or FractionalFactor()
+        self.v_start = float(v_start)
+        self.v_end = float(v_end)
+        self.step = float(step)
+        levels = int(round((self.v_start - self.v_end) / self.step)) + 1
+        self.num_levels = max(levels, 1)
+        if hold is None:
+            hold = max(1, iterations // self.num_levels)
+        if hold < 1:
+            raise ValueError("hold must be >= 1")
+        self.hold = int(hold)
+
+    def vbg(self, iteration: int) -> float:
+        """Back-gate voltage at a (0-based) iteration."""
+        if not 0 <= iteration < self.iterations:
+            raise IndexError(f"iteration {iteration} outside schedule")
+        level = min(iteration // self.hold, self.num_levels - 1)
+        return max(self.v_start - level * self.step, self.v_end)
+
+    def temperature(self, iteration: int) -> float:
+        return float(self.factor.temperature_for_vbg(self.vbg(iteration)))
+
+    def vbg_profile(self) -> np.ndarray:
+        """Full V_BG trace, length ``iterations``."""
+        return np.array([self.vbg(i) for i in range(self.iterations)])
+
+    def dac_updates(self) -> int:
+        """Number of BG rail reprogrammings over the run (level changes)."""
+        profile = self.vbg_profile()
+        return int(np.count_nonzero(np.diff(profile))) + 1  # +1 initial set
+
+
+class ReverseVbgSchedule(VbgStepSchedule):
+    """Metropolis-consistent variant: ``V_BG`` walks *up* from 0 V to 0.7 V.
+
+    Under the published acceptance rule (reject uphill when
+    ``E_inc > rand``), a rising factor suppresses uphill moves over time —
+    matching conventional cooling.  Provided for the schedule-direction
+    ablation (see DESIGN.md §2).
+    """
+
+    def vbg(self, iteration: int) -> float:
+        if not 0 <= iteration < self.iterations:
+            raise IndexError(f"iteration {iteration} outside schedule")
+        level = min(iteration // self.hold, self.num_levels - 1)
+        return min(self.v_end + level * self.step, self.v_start)

@@ -1,0 +1,78 @@
+"""High-level solve API: one call from problem to solution.
+
+These wrappers pick reasonable defaults for the three solver families
+(in-situ fractional, direct-E SA, MESA), run them, and translate energies
+back into problem-domain quantities (cut values for Max-Cut).
+"""
+
+from __future__ import annotations
+
+from repro.core.annealer import InSituAnnealer
+from repro.core.mesa import MesaAnnealer
+from repro.core.results import AnnealResult, MaxCutResult
+from repro.core.sa import DirectEAnnealer
+from repro.ising.maxcut import MaxCutProblem
+from repro.ising.model import IsingModel
+
+_SOLVERS = {
+    "insitu": InSituAnnealer,
+    "sa": DirectEAnnealer,
+    "mesa": MesaAnnealer,
+}
+
+
+def solve_ising(
+    model: IsingModel,
+    method: str = "insitu",
+    iterations: int = 1000,
+    seed=None,
+    **solver_kwargs,
+) -> AnnealResult:
+    """Minimise an Ising model with the selected annealer.
+
+    Parameters
+    ----------
+    model:
+        The model to minimise.
+    method:
+        ``"insitu"`` (the paper's flow), ``"sa"`` (direct-E Metropolis
+        baseline) or ``"mesa"`` (multi-epoch SA of ref [7]).
+    iterations:
+        Annealing iterations.
+    seed:
+        RNG seed.
+    solver_kwargs:
+        Forwarded to the solver constructor (e.g. ``flips_per_iteration``).
+    """
+    if method not in _SOLVERS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(_SOLVERS)}"
+        )
+    solver = _SOLVERS[method](model, seed=seed, **solver_kwargs)
+    return solver.run(iterations)
+
+
+def solve_maxcut(
+    problem: MaxCutProblem,
+    method: str = "insitu",
+    iterations: int = 1000,
+    seed=None,
+    reference_cut: float | None = None,
+    **solver_kwargs,
+) -> MaxCutResult:
+    """Solve a Max-Cut instance and report cut values.
+
+    ``reference_cut`` (the best-known value, e.g. from
+    :func:`repro.analysis.reference.reference_cut`) enables the normalised
+    cut and the paper's ≥ 0.9 success criterion on the result object.
+    """
+    model = problem.to_ising()
+    result = solve_ising(
+        model, method=method, iterations=iterations, seed=seed, **solver_kwargs
+    )
+    return MaxCutResult(
+        anneal=result,
+        cut=problem.cut_from_energy(result.energy),
+        best_cut=problem.cut_from_energy(result.best_energy),
+        reference_cut=reference_cut,
+    )

@@ -1,0 +1,64 @@
+"""Device substrate: behavioural compact models of the paper's transistors.
+
+Substitutes the paper's SPECTRE setup (22 nm BSIM-IMG DG FeFET [34], Preisach
+FeFET [35], commercial MOSFET) with Python compact models that reproduce the
+device *behaviour* the architecture depends on — binary FE storage, the
+four-input product ``I_SL = x·G·y·z`` and back-gate threshold tuning.  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.devices.constants import (
+    DEFAULT_BG_COUPLING,
+    DEFAULT_MEMORY_WINDOW,
+    DEFAULT_PROGRAM_VOLTAGE,
+    DEFAULT_PROGRAM_WIDTH,
+    DEFAULT_READ_VDL,
+    DEFAULT_READ_VFG,
+    DEFAULT_VTH_HIGH,
+    DEFAULT_VTH_LOW,
+    THERMAL_VOLTAGE_300K,
+    VBG_MAX,
+    VBG_MIN,
+    VBG_STEP,
+)
+from repro.devices.characterization import (
+    DeviceMetrics,
+    EnduranceModel,
+    RetentionModel,
+    annealing_runs_per_lifetime,
+    extract_metrics,
+)
+from repro.devices.dg_fefet import DGFeFET
+from repro.devices.fefet import FeFET
+from repro.devices.preisach import PreisachFerroelectric
+from repro.devices.transistor import Transistor
+from repro.devices.variability import VariationModel
+from repro.devices.waveform import ProgramVerifyResult, PulseTrain, program_and_verify
+
+__all__ = [
+    "Transistor",
+    "PreisachFerroelectric",
+    "FeFET",
+    "DGFeFET",
+    "VariationModel",
+    "PulseTrain",
+    "ProgramVerifyResult",
+    "program_and_verify",
+    "DeviceMetrics",
+    "RetentionModel",
+    "EnduranceModel",
+    "extract_metrics",
+    "annealing_runs_per_lifetime",
+    "THERMAL_VOLTAGE_300K",
+    "DEFAULT_MEMORY_WINDOW",
+    "DEFAULT_VTH_LOW",
+    "DEFAULT_VTH_HIGH",
+    "DEFAULT_PROGRAM_VOLTAGE",
+    "DEFAULT_PROGRAM_WIDTH",
+    "DEFAULT_BG_COUPLING",
+    "DEFAULT_READ_VFG",
+    "DEFAULT_READ_VDL",
+    "VBG_MIN",
+    "VBG_MAX",
+    "VBG_STEP",
+]

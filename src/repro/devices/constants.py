@@ -1,0 +1,51 @@
+"""Physical constants and default 22 nm-class device parameters.
+
+The defaults are chosen to land the behavioural models inside the paper's
+figure envelopes (Fig 2b/2d device curves, Fig 6b cell transfer curve); they
+are not extracted from a PDK.  Everything is overridable through the model
+constructors.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant times room temperature over electron charge (volts).
+THERMAL_VOLTAGE_300K = 0.02585
+
+#: Default subthreshold ideality factor (SS ≈ n · 60 mV/dec at 300 K).
+DEFAULT_IDEALITY = 1.15
+
+#: Default FeFET memory window between the programmed low/high V_TH states
+#: (volts).  Fig 2b of the paper shows roughly a 1.1-1.3 V separation for the
+#: experimentally measured device of ref [7].
+DEFAULT_MEMORY_WINDOW = 1.2
+
+#: Default low / high threshold voltages implied by the window (volts).
+DEFAULT_VTH_LOW = -0.1
+DEFAULT_VTH_HIGH = DEFAULT_VTH_LOW + DEFAULT_MEMORY_WINDOW
+
+#: Saturation (remnant) polarization of the FE layer, normalised to 1.
+#: The compact models work with the *normalised* polarization P/P_s.
+SATURATION_POLARIZATION = 1.0
+
+#: Default programming pulse amplitude/width (volts, seconds) — the ±4 V,
+#: 1 µs pulses used for the measured FeFET of Fig 2.
+DEFAULT_PROGRAM_VOLTAGE = 4.0
+DEFAULT_PROGRAM_WIDTH = 1e-6
+
+#: Mean coercive voltage and distribution width of the Preisach hysteron
+#: density (volts).
+DEFAULT_COERCIVE_VOLTAGE = 1.8
+DEFAULT_COERCIVE_SIGMA = 0.45
+
+#: Back-gate to channel coupling ratio of the DG FeFET (ΔV_TH per ΔV_BG).
+#: Fig 2d shows the I_D-V_FG family shifting by roughly 1.5-2 V across a
+#: V_BG sweep of 8 V → γ ≈ 0.22.
+DEFAULT_BG_COUPLING = 0.22
+
+#: Read voltages used by the CiM cell (volts): front gate logic-high, drain
+#: line logic-high, and the back-gate analog range of the annealing flow.
+DEFAULT_READ_VFG = 1.0
+DEFAULT_READ_VDL = 1.0
+VBG_MIN = 0.0
+VBG_MAX = 0.7
+VBG_STEP = 0.01

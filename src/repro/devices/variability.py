@@ -1,0 +1,61 @@
+"""Device-variation models for Monte-Carlo robustness studies.
+
+CiM annealers are claimed to be more robust than dynamical-system Ising
+machines precisely because moderate device variation perturbs the sensed
+energy rather than the coupling dynamics (paper Sec. 1/2).  This module
+provides the variation sources the ablation bench
+(`bench_ablation_variability.py`) sweeps:
+
+* **device-to-device** threshold spread: a per-cell ``V_TH`` offset frozen at
+  program time;
+* **cycle-to-cycle** read noise: a fresh multiplicative current perturbation
+  per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Variation magnitudes applied by the crossbar device backend.
+
+    Parameters
+    ----------
+    vth_sigma:
+        Device-to-device threshold-voltage standard deviation (volts).
+    read_noise_sigma:
+        Relative (multiplicative) cycle-to-cycle current noise.
+    """
+
+    vth_sigma: float = 0.0
+    read_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vth_sigma < 0 or self.read_noise_sigma < 0:
+            raise ValueError("variation magnitudes must be >= 0")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when both variation sources are disabled."""
+        return self.vth_sigma == 0.0 and self.read_noise_sigma == 0.0
+
+    def sample_vth_offsets(self, shape, seed=None) -> np.ndarray:
+        """Frozen per-cell ``V_TH`` offsets (program-time draw)."""
+        rng = ensure_rng(seed)
+        if self.vth_sigma == 0.0:
+            return np.zeros(shape, dtype=np.float64)
+        return rng.normal(0.0, self.vth_sigma, size=shape)
+
+    def apply_read_noise(self, currents: np.ndarray, seed=None) -> np.ndarray:
+        """Apply one evaluation's multiplicative read noise to ``currents``."""
+        if self.read_noise_sigma == 0.0:
+            return currents
+        rng = ensure_rng(seed)
+        factor = rng.normal(1.0, self.read_noise_sigma, size=np.shape(currents))
+        return currents * factor

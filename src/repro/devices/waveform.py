@@ -1,0 +1,115 @@
+"""Programming waveforms: pulse trains and program-and-verify.
+
+Real FeFET arrays are rarely programmed with a single blind pulse — a
+program-and-verify loop applies incrementally stronger pulses until the
+read current crosses a verify threshold (ISPP: incremental step pulse
+programming).  This module provides that loop on top of the compact models,
+plus simple pulse-train builders for characterisation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.fefet import FeFET
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PulseTrain:
+    """An amplitude sequence of equal-width gate pulses.
+
+    Parameters
+    ----------
+    amplitudes:
+        Pulse amplitudes in volts, applied in order.
+    width:
+        Common pulse width in seconds.
+    """
+
+    amplitudes: tuple
+    width: float = 1e-6
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        if len(self.amplitudes) == 0:
+            raise ValueError("pulse train must contain at least one pulse")
+
+    @classmethod
+    def staircase(
+        cls, start: float, stop: float, steps: int, width: float = 1e-6
+    ) -> "PulseTrain":
+        """Linearly ramped amplitudes from ``start`` to ``stop``."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        return cls(tuple(np.linspace(start, stop, steps)), width)
+
+    def apply(self, fefet: FeFET) -> list[float]:
+        """Apply the train to a FeFET; returns the V_TH after each pulse."""
+        return [fefet.apply_gate_pulse(v, self.width) for v in self.amplitudes]
+
+
+@dataclass
+class ProgramVerifyResult:
+    """Outcome of a program-and-verify sequence."""
+
+    success: bool
+    pulses_used: int
+    final_vth: float
+    final_current: float
+    amplitudes: list
+
+
+def program_and_verify(
+    fefet: FeFET,
+    target_bit: int,
+    verify_current: float = 1e-6,
+    v_read: float = 0.5,
+    v_drain: float = 0.1,
+    v_start: float = 2.0,
+    v_step: float = 0.25,
+    max_pulses: int = 12,
+    pulse_width: float = 1e-6,
+) -> ProgramVerifyResult:
+    """ISPP program-and-verify loop.
+
+    Applies pulses of growing magnitude (positive for the low-``V_TH`` '1'
+    state, negative for '0') and reads the channel current after each; stops
+    as soon as the verify condition holds: read current above
+    ``verify_current`` for a '1', below it for a '0'.
+
+    Returns a :class:`ProgramVerifyResult`; ``success`` is False when
+    ``max_pulses`` are exhausted without verifying.
+    """
+    if target_bit not in (0, 1):
+        raise ValueError("target_bit must be 0 or 1")
+    check_positive("verify_current", verify_current)
+    check_positive("v_step", v_step)
+    if max_pulses < 1:
+        raise ValueError("max_pulses must be >= 1")
+
+    sign = 1.0 if target_bit == 1 else -1.0
+    amplitudes: list[float] = []
+    for pulse_idx in range(max_pulses):
+        amplitude = sign * (v_start + pulse_idx * v_step)
+        fefet.apply_gate_pulse(amplitude, pulse_width)
+        amplitudes.append(amplitude)
+        current = float(fefet.drain_current(v_read, v_drain))
+        verified = current > verify_current if target_bit == 1 else current < verify_current
+        if verified:
+            return ProgramVerifyResult(
+                success=True,
+                pulses_used=pulse_idx + 1,
+                final_vth=fefet.vth,
+                final_current=current,
+                amplitudes=amplitudes,
+            )
+    return ProgramVerifyResult(
+        success=False,
+        pulses_used=max_pulses,
+        final_vth=fefet.vth,
+        final_current=float(fefet.drain_current(v_read, v_drain)),
+        amplitudes=amplitudes,
+    )

@@ -1,0 +1,48 @@
+"""Problem substrate: Ising/QUBO models and the COP families of the paper.
+
+This sub-package is pure mathematics — no device or hardware concepts.  The
+core identity it provides (and that the whole CiM design leans on) is the
+incremental energy difference of :meth:`IsingModel.delta_energy_flips`.
+"""
+
+from repro.ising.coloring import GraphColoringProblem
+from repro.ising.gset import (
+    PAPER_ITERATIONS,
+    GsetSpec,
+    build_instance,
+    generate_random,
+    generate_skew,
+    generate_toroidal,
+    paper_instance_suite,
+    parse_gset,
+    suite_by_size,
+    write_gset,
+)
+from repro.ising.knapsack import KnapsackProblem
+from repro.ising.maxcut import MaxCutProblem
+from repro.ising.mis import MaxIndependentSetProblem
+from repro.ising.model import IsingModel
+from repro.ising.partition import NumberPartitioningProblem
+from repro.ising.qubo import QuboModel
+from repro.ising.tsp import TravellingSalesmanProblem
+
+__all__ = [
+    "IsingModel",
+    "QuboModel",
+    "MaxCutProblem",
+    "GraphColoringProblem",
+    "KnapsackProblem",
+    "NumberPartitioningProblem",
+    "MaxIndependentSetProblem",
+    "TravellingSalesmanProblem",
+    "GsetSpec",
+    "PAPER_ITERATIONS",
+    "build_instance",
+    "generate_random",
+    "generate_skew",
+    "generate_toroidal",
+    "paper_instance_suite",
+    "suite_by_size",
+    "parse_gset",
+    "write_gset",
+]

@@ -1,0 +1,247 @@
+"""Ising model substrate: energy, local fields and spin-flip increments.
+
+The paper (Eq. 1-2) works with the Hamiltonian
+
+.. math::  E(\\sigma) = \\sigma^T J \\sigma + h^T \\sigma,
+
+with symmetric coupling matrix ``J`` and ±1 spins.  Because ``σ_i² = 1`` the
+diagonal of ``J`` only contributes a constant, so all increment formulas below
+are independent of ``diag(J)``; we keep the diagonal around (the paper's Eq. 2
+stores self couplings there) and account for it exactly in :meth:`energy`.
+
+The central identity of the paper's incremental-E transformation (Eq. 5-9) is
+
+.. math::  E(\\sigma_{new}) - E(\\sigma) = 4\\,\\sigma_r^T J \\sigma_c
+            + 2\\,h^T \\sigma_c,
+
+where ``σ_c`` keeps the flipped entries of ``σ_new`` (others zeroed) and
+``σ_r`` keeps the unflipped entries.  :meth:`delta_energy_flips` implements it
+and the test-suite verifies it against brute-force recomputation for random
+models and flip sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_spin_vector, check_square_symmetric
+
+
+@dataclass
+class IsingModel:
+    """An Ising Hamiltonian ``E(σ) = σᵀJσ + hᵀσ + offset``.
+
+    Parameters
+    ----------
+    couplings:
+        Symmetric ``(n, n)`` matrix ``J``.  Both triangles must be populated
+        (the energy sums over *all* ordered pairs, as in the paper's Eq. 2).
+    fields:
+        Optional length-``n`` external field ``h`` (``None`` means zero).
+    offset:
+        Constant added to every energy; used to preserve objective values
+        through QUBO/Max-Cut conversions.
+    name:
+        Free-form label used in reports.
+    """
+
+    couplings: np.ndarray
+    fields: np.ndarray | None = None
+    offset: float = 0.0
+    name: str = "ising"
+    _J: np.ndarray = field(init=False, repr=False)
+    _h: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._J = check_square_symmetric(self.couplings, "couplings")
+        n = self._J.shape[0]
+        if self.fields is None:
+            self._h = np.zeros(n, dtype=np.float64)
+        else:
+            h = np.asarray(self.fields, dtype=np.float64)
+            if h.shape != (n,):
+                raise ValueError(f"fields must have shape ({n},), got {h.shape}")
+            self._h = h
+        self.offset = float(self.offset)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_spins(self) -> int:
+        """Number of spins ``n``."""
+        return self._J.shape[0]
+
+    @property
+    def J(self) -> np.ndarray:
+        """The validated symmetric coupling matrix (do not mutate)."""
+        return self._J
+
+    @property
+    def h(self) -> np.ndarray:
+        """The validated external-field vector (do not mutate)."""
+        return self._h
+
+    @property
+    def has_fields(self) -> bool:
+        """Whether any external field is non-zero."""
+        return bool(np.any(self._h))
+
+    # ------------------------------------------------------------------
+    # Energies
+    # ------------------------------------------------------------------
+    def energy(self, sigma) -> float:
+        """Exact energy ``σᵀJσ + hᵀσ + offset`` of a ±1 configuration."""
+        s = check_spin_vector(sigma, self.num_spins).astype(np.float64)
+        return float(s @ self._J @ s + self._h @ s) + self.offset
+
+    def local_fields(self, sigma) -> np.ndarray:
+        """Return ``g = J σ`` for the given configuration.
+
+        ``g`` lets single-flip increments be evaluated in O(1) per spin and is
+        the state the software annealers keep incrementally up to date.
+        """
+        s = check_spin_vector(sigma, self.num_spins).astype(np.float64)
+        return self._J @ s
+
+    def delta_energy_single(self, sigma, index: int, g: np.ndarray | None = None) -> float:
+        """Energy change from flipping the single spin ``index``.
+
+        Parameters
+        ----------
+        sigma:
+            Current ±1 configuration.
+        index:
+            Spin to flip.
+        g:
+            Optional precomputed local fields ``J σ`` (avoids the O(n·n)
+            matrix-vector product when the caller maintains them).
+        """
+        s = np.asarray(sigma)
+        n = self.num_spins
+        if not 0 <= index < n:
+            raise IndexError(f"spin index {index} out of range [0, {n})")
+        si = float(s[index])
+        if g is None:
+            gi = float(self._J[index] @ s.astype(np.float64))
+        else:
+            gi = float(g[index])
+        # Diagonal term does not change under a flip; remove its contribution
+        # from the local field before applying the rank-1 update formula.
+        gi_off = gi - self._J[index, index] * si
+        return -4.0 * si * gi_off - 2.0 * self._h[index] * si
+
+    def delta_energy_flips(self, sigma, flip_indices) -> float:
+        """Energy change from flipping the set ``flip_indices`` simultaneously.
+
+        Implements the paper's incremental identity
+        ``ΔE = 4 σ_rᵀ J σ_c + 2 hᵀ σ_c`` (Eq. 9 extended with fields), which
+        costs ``O(n·|F|)`` instead of the ``O(n²)`` direct recomputation.
+        """
+        s = check_spin_vector(sigma, self.num_spins).astype(np.float64)
+        flips = np.atleast_1d(np.asarray(flip_indices, dtype=np.intp))
+        if flips.size == 0:
+            return 0.0
+        if np.unique(flips).size != flips.size:
+            raise ValueError("flip_indices must be unique")
+        sigma_new = s.copy()
+        sigma_new[flips] *= -1.0
+        # σ_c: flipped entries of σ_new; σ_r: unflipped entries of σ_new.
+        sigma_c = np.zeros_like(s)
+        sigma_c[flips] = sigma_new[flips]
+        sigma_r = sigma_new.copy()
+        sigma_r[flips] = 0.0
+        cross = float(sigma_r @ (self._J @ sigma_c))
+        return 4.0 * cross + 2.0 * float(self._h @ sigma_c)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_ancilla(self) -> "IsingModel":
+        """Fold the external field into couplings via one ancilla spin.
+
+        Returns an ``(n+1)``-spin model whose spin 0 is pinned to +1 by
+        convention: ``J'_{0j} = J'_{j0} = h_j / 2`` reproduces ``hᵀσ`` exactly
+        when ``σ_0 = +1``.  This is how a field is mapped onto a crossbar that
+        only stores couplings.
+        """
+        n = self.num_spins
+        J2 = np.zeros((n + 1, n + 1), dtype=np.float64)
+        J2[1:, 1:] = self._J
+        J2[0, 1:] = self._h / 2.0
+        J2[1:, 0] = self._h / 2.0
+        return IsingModel(J2, None, offset=self.offset, name=f"{self.name}+ancilla")
+
+    def scaled(self, factor: float) -> "IsingModel":
+        """Return a copy with ``J``, ``h`` and ``offset`` scaled by ``factor``."""
+        return IsingModel(
+            self._J * factor,
+            self._h * factor if self.has_fields else None,
+            offset=self.offset * factor,
+            name=self.name,
+        )
+
+    def max_abs_coupling(self) -> float:
+        """Largest |J_ij| off the diagonal (used for quantization scaling)."""
+        off = self._J - np.diag(np.diag(self._J))
+        return float(np.max(np.abs(off))) if off.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        density: float = 1.0,
+        coupling_scale: float = 1.0,
+        with_fields: bool = False,
+        seed=None,
+    ) -> "IsingModel":
+        """Random symmetric model for tests and demos.
+
+        Couplings are drawn uniform in ``[-coupling_scale, coupling_scale]``
+        and thinned to the requested ``density``; the diagonal is zero.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must be in [0, 1]")
+        rng = ensure_rng(seed)
+        upper = rng.uniform(-coupling_scale, coupling_scale, size=(n, n))
+        mask = rng.random((n, n)) < density
+        upper = np.triu(upper * mask, k=1)
+        J = upper + upper.T
+        h = rng.uniform(-coupling_scale, coupling_scale, size=n) if with_fields else None
+        return cls(J, h, name=f"random-{n}")
+
+    def random_configuration(self, seed=None) -> np.ndarray:
+        """Draw a uniform random ±1 configuration of the right length."""
+        rng = ensure_rng(seed)
+        return rng.choice(np.array([-1, 1], dtype=np.int8), size=self.num_spins)
+
+    def brute_force_minimum(self) -> tuple[np.ndarray, float]:
+        """Exhaustively minimise the Hamiltonian (only for ``n <= 20``).
+
+        Used by tests and tiny examples to validate the annealers against
+        ground truth.
+        """
+        n = self.num_spins
+        if n > 20:
+            raise ValueError(f"brute force limited to 20 spins, got {n}")
+        best_sigma = None
+        best_energy = np.inf
+        for bits in range(1 << n):
+            s = np.fromiter(
+                ((1 if bits >> i & 1 else -1) for i in range(n)),
+                dtype=np.int8,
+                count=n,
+            )
+            e = self.energy(s)
+            if e < best_energy:
+                best_energy = e
+                best_sigma = s
+        return best_sigma, float(best_energy)

@@ -1,0 +1,157 @@
+"""Travelling salesman as a QUBO (permutation one-hot encoding).
+
+The classic Lucas construction: binary variable ``x[v, p]`` means "city v is
+visited at position p".  Penalties enforce one city per position and one
+position per city; the objective sums the distances of consecutive
+positions (cyclically).  Included to exercise the library on a
+permutation-structured COP — much denser constraints than Max-Cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ising.qubo import QuboModel
+
+
+@dataclass
+class TravellingSalesmanProblem:
+    """A symmetric TSP instance over an explicit distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` matrix of non-negative inter-city distances
+        (diagonal ignored).
+    penalty:
+        Constraint weight ``A``; must exceed the largest distance for valid
+        tours to dominate (a safe default is chosen when ``None``).
+    """
+
+    distances: np.ndarray
+    penalty: float | None = None
+    name: str = "tsp"
+    _D: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        D = np.asarray(self.distances, dtype=np.float64)
+        if D.ndim != 2 or D.shape[0] != D.shape[1] or D.shape[0] < 3:
+            raise ValueError("distances must be a square matrix with n >= 3")
+        if not np.allclose(D, D.T):
+            raise ValueError("distances must be symmetric")
+        if np.any(D < 0):
+            raise ValueError("distances must be non-negative")
+        self._D = D
+        if self.penalty is None:
+            self.penalty = float(D.max()) * 2.0 + 1.0
+        elif self.penalty <= 0:
+            raise ValueError("penalty must be positive")
+
+    @property
+    def num_cities(self) -> int:
+        """Number of cities ``n``."""
+        return self._D.shape[0]
+
+    @property
+    def num_variables(self) -> int:
+        """Binary variables in the one-hot encoding, ``n²``."""
+        return self.num_cities**2
+
+    def variable_index(self, city: int, position: int) -> int:
+        """Flat index of ``x[city, position]``."""
+        n = self.num_cities
+        if not 0 <= city < n or not 0 <= position < n:
+            raise IndexError("city/position out of range")
+        return city * n + position
+
+    # ------------------------------------------------------------------
+    def to_qubo(self) -> QuboModel:
+        """Lucas encoding: distance objective + two one-hot penalty families."""
+        n = self.num_cities
+        nv = self.num_variables
+        A = float(self.penalty)
+        Q = np.zeros((nv, nv), dtype=np.float64)
+        q = np.zeros(nv, dtype=np.float64)
+        offset = 0.0
+
+        def add_pair(i: int, j: int, w: float) -> None:
+            Q[i, j] += w / 2.0
+            Q[j, i] += w / 2.0
+
+        # A · Σ_v (1 − Σ_p x_vp)² and A · Σ_p (1 − Σ_v x_vp)².
+        for v in range(n):
+            offset += A
+            for p in range(n):
+                q[self.variable_index(v, p)] += -A
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    add_pair(
+                        self.variable_index(v, p1), self.variable_index(v, p2), 2 * A
+                    )
+        for p in range(n):
+            offset += A
+            for v in range(n):
+                q[self.variable_index(v, p)] += -A
+            for v1 in range(n):
+                for v2 in range(v1 + 1, n):
+                    add_pair(
+                        self.variable_index(v1, p), self.variable_index(v2, p), 2 * A
+                    )
+        # Σ_p Σ_{u≠v} D_uv x_up x_v(p+1).
+        for p in range(n):
+            p_next = (p + 1) % n
+            for u in range(n):
+                for v in range(n):
+                    if u == v:
+                        continue
+                    add_pair(
+                        self.variable_index(u, p),
+                        self.variable_index(v, p_next),
+                        self._D[u, v],
+                    )
+        return QuboModel(Q, q, offset=offset, name=self.name)
+
+    # ------------------------------------------------------------------
+    def decode(self, x) -> np.ndarray | None:
+        """Extract the tour (city per position); ``None`` if not a permutation."""
+        arr = np.asarray(x).reshape(self.num_cities, self.num_cities)
+        if not np.all(arr.sum(axis=0) == 1) or not np.all(arr.sum(axis=1) == 1):
+            return None
+        return np.argmax(arr, axis=0)
+
+    def tour_length(self, tour) -> float:
+        """Cyclic length of a tour given as city-per-position."""
+        t = np.asarray(tour, dtype=np.intp)
+        if sorted(t.tolist()) != list(range(self.num_cities)):
+            raise ValueError("tour must be a permutation of all cities")
+        return float(sum(self._D[t[i], t[(i + 1) % len(t)]] for i in range(len(t))))
+
+    def brute_force_tour(self) -> tuple[np.ndarray, float]:
+        """Exact optimum by enumeration (n ≤ 9)."""
+        from itertools import permutations
+
+        n = self.num_cities
+        if n > 9:
+            raise ValueError("brute force limited to 9 cities")
+        best_tour, best_len = None, np.inf
+        for perm in permutations(range(1, n)):
+            tour = np.array([0, *perm], dtype=np.intp)
+            length = self.tour_length(tour)
+            if length < best_len:
+                best_tour, best_len = tour, length
+        return best_tour, float(best_len)
+
+    @classmethod
+    def random_euclidean(
+        cls, num_cities: int, seed=None, name: str = "tsp"
+    ) -> "TravellingSalesmanProblem":
+        """Random points on the unit square with Euclidean distances."""
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        points = rng.random((num_cities, 2))
+        diff = points[:, None, :] - points[None, :, :]
+        D = np.sqrt((diff**2).sum(axis=-1))
+        return cls(D, name=name)

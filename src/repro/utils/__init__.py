@@ -1,0 +1,51 @@
+"""Shared utilities: seeded RNG handling, units, validation and tables.
+
+These helpers are deliberately small and dependency-free so that every other
+sub-package (``ising``, ``devices``, ``circuits``, ``core``, ``arch``,
+``analysis``) can build on them without import cycles.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    format_energy,
+    format_time,
+    from_si,
+    to_si,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_spin_vector,
+    check_square_symmetric,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "FEMTO",
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "from_si",
+    "to_si",
+    "format_energy",
+    "format_time",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_spin_vector",
+    "check_square_symmetric",
+]

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benches and the CLI.
+
+The benchmark harness regenerates the paper's tables and figure series as
+aligned ASCII tables; this module is the single place that formats them so
+all benches produce a consistent look.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    Returns the table as a single string (callers ``print`` it).
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render one or more y-series against a shared x axis (a 'figure').
+
+    This is how benches print the data behind the paper's line plots
+    (e.g. Fig 8b energy-vs-iteration trends).
+    """
+    headers = [x_label, *series.keys()]
+    columns = [x_values, *series.values()]
+    lengths = {len(c) for c in columns}
+    if len(lengths) != 1:
+        raise ValueError(f"all series must share the x grid, got lengths {lengths}")
+    rows = list(zip(*columns))
+    return render_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,67 @@
+"""SI-prefix constants and human-readable formatting of energies/times.
+
+All internal bookkeeping in :mod:`repro.arch` is done in base SI units
+(joules, seconds, volts, amperes).  These helpers convert to and from the
+prefixed figures used in the paper (pJ, nJ, µJ, ns, µs, ms).
+"""
+
+from __future__ import annotations
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+_PREFIXES = [
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "µ"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+]
+
+
+def to_si(value: float, prefix: float) -> float:
+    """Convert ``value`` expressed in ``prefix`` units to base SI units.
+
+    Example: ``to_si(0.25, PICO)`` → ``2.5e-13`` (0.25 pJ in joules).
+    """
+    return value * prefix
+
+
+def from_si(value: float, prefix: float) -> float:
+    """Convert a base-SI ``value`` into ``prefix`` units.
+
+    Example: ``from_si(2.5e-13, PICO)`` → ``0.25``.
+    """
+    return value / prefix
+
+
+def _format_quantity(value: float, unit: str) -> str:
+    """Render ``value`` (base SI) with the best-matching SI prefix."""
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    best_scale, best_prefix = _PREFIXES[0]
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            best_scale, best_prefix = scale, prefix
+    return f"{value / best_scale:.3g} {best_prefix}{unit}"
+
+
+def format_energy(joules: float) -> str:
+    """Format an energy in joules, e.g. ``format_energy(2.5e-9) == '2.5 nJ'``."""
+    return _format_quantity(joules, "J")
+
+
+def format_time(seconds: float) -> str:
+    """Format a time in seconds, e.g. ``format_time(4.6e-3) == '4.6 ms'``."""
+    return _format_quantity(seconds, "s")

@@ -1,0 +1,73 @@
+"""Argument-validation helpers shared across the library.
+
+The device and circuit models are easy to misuse silently (e.g. passing a
+0/1 vector where a ±1 spin vector is expected).  These checks raise early
+with actionable messages instead of producing subtly wrong physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate that a scalar parameter is positive (or non-negative)."""
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_spin_vector(sigma, n: int | None = None) -> np.ndarray:
+    """Validate and return a ±1 spin vector as an ``int8`` array.
+
+    Parameters
+    ----------
+    sigma:
+        Array-like of ±1 entries.
+    n:
+        Expected length; checked when given.
+    """
+    arr = np.asarray(sigma)
+    if arr.ndim != 1:
+        raise ValueError(f"spin vector must be 1-D, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"spin vector must have length {n}, got {arr.shape[0]}")
+    if not np.all(np.isin(arr, (-1, 1))):
+        bad = arr[~np.isin(arr, (-1, 1))]
+        raise ValueError(f"spin vector entries must be ±1, found {bad[:5]!r}")
+    return arr.astype(np.int8, copy=False)
+
+
+def check_square_symmetric(matrix, name: str = "J", atol: float = 1e-9) -> np.ndarray:
+    """Validate and return a square symmetric float matrix.
+
+    The incremental-E identity (Eq. 9 of the paper) requires a symmetric
+    coupling matrix; silently accepting an asymmetric one would make the
+    CiM result disagree with the direct energy difference.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if not np.allclose(arr, arr.T, atol=atol):
+        raise ValueError(f"{name} must be symmetric (|J - J.T| <= {atol})")
+    return arr

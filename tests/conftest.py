@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ising import IsingModel, MaxCutProblem
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_model():
+    """A 12-spin random Ising model with fields."""
+    return IsingModel.random(12, with_fields=True, seed=7)
+
+
+@pytest.fixture
+def small_maxcut():
+    """A 20-node, 60-edge random Max-Cut instance."""
+    return MaxCutProblem.random(20, 60, seed=11)
+
+
+@pytest.fixture
+def tiny_maxcut():
+    """A 10-node instance small enough for brute force."""
+    return MaxCutProblem.random(10, 20, seed=3)
+
+
+def brute_force_maxcut(problem: MaxCutProblem) -> float:
+    """Exhaustive optimum cut (n ≤ 16)."""
+    n = problem.num_nodes
+    assert n <= 16
+    best = 0.0
+    for bits in range(1 << (n - 1)):  # fix spin 0 by symmetry
+        sigma = np.ones(n, dtype=np.int8)
+        for i in range(n - 1):
+            if bits >> i & 1:
+                sigma[i + 1] = -1
+        best = max(best, problem.cut_value(sigma))
+    return best

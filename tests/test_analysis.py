@@ -1,0 +1,180 @@
+"""Tests for metrics, reference cuts, runners and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_ENERGY_REDUCTIONS,
+    PAPER_TIME_REDUCTIONS,
+    RunStatistics,
+    compute_reference_cut,
+    cost_to_solution,
+    exact_bipartite_optimum,
+    hardware_table,
+    instance_fingerprint,
+    is_success,
+    iterations_to_target,
+    normalized_cut,
+    quality_table,
+    reduction_ratios,
+    reference_cut,
+    run_hardware_experiment,
+    run_quality_experiment,
+    success_rate,
+    table1,
+)
+from repro.ising import MaxCutProblem, generate_toroidal
+from repro.ising.gset import GsetSpec
+
+
+class TestMetrics:
+    def test_normalized_and_success(self):
+        assert normalized_cut(90, 100) == pytest.approx(0.9)
+        assert is_success(90, 100)
+        assert not is_success(89.9, 100)
+        with pytest.raises(ValueError):
+            normalized_cut(1, 0)
+
+    def test_success_rate(self):
+        assert success_rate([95, 80, 91], 100) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            success_rate([], 100)
+
+    def test_run_statistics(self):
+        s = RunStatistics.from_values([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+        with pytest.raises(ValueError):
+            RunStatistics.from_values([])
+
+    def test_iterations_to_target(self):
+        trace = np.array([5.0, 4.0, 3.0, 3.0, 1.0])
+        assert iterations_to_target(trace, 3.0) == 2
+        assert iterations_to_target(trace, 0.5) is None
+
+    def test_cost_to_solution(self):
+        best = np.array([5.0, 3.0, 1.0])
+        cost = np.array([10.0, 20.0, 30.0])
+        assert cost_to_solution(best, cost, 3.0) == 20.0
+        assert cost_to_solution(best, cost, 0.0) is None
+        with pytest.raises(ValueError):
+            cost_to_solution(best, cost[:-1], 1.0)
+
+
+class TestReference:
+    def test_bipartite_closed_form(self):
+        torus = generate_toroidal(4, 4, seed=1)
+        assert exact_bipartite_optimum(torus) == pytest.approx(32.0)
+
+    def test_bipartite_closed_form_rejects_negative_weights(self):
+        torus = generate_toroidal(4, 4, weighted=True, seed=1)
+        if np.any(torus.weight_array < 0):
+            assert exact_bipartite_optimum(torus) is None
+
+    def test_non_bipartite_returns_none(self):
+        triangle = MaxCutProblem(3, np.array([[0, 1], [1, 2], [0, 2]]))
+        assert exact_bipartite_optimum(triangle) is None
+
+    def test_compute_reference_small(self):
+        p = MaxCutProblem.random(12, 30, seed=5)
+        ref = compute_reference_cut(p, restarts=1, iterations=3000)
+        from tests.conftest import brute_force_maxcut
+
+        assert ref == pytest.approx(brute_force_maxcut(p))
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = MaxCutProblem.random(10, 20, seed=1)
+        b = MaxCutProblem.random(10, 20, seed=2)
+        assert instance_fingerprint(a) == instance_fingerprint(a)
+        assert instance_fingerprint(a) != instance_fingerprint(b)
+
+    def test_cache_round_trip(self, tmp_path):
+        p = MaxCutProblem.random(12, 30, seed=5)
+        cache = tmp_path / "refs.json"
+        first = reference_cut(p, cache_path=cache, restarts=1, iterations=2000)
+        # second call must come from cache (same value, file exists)
+        second = reference_cut(p, cache_path=cache, restarts=1, iterations=2000)
+        assert cache.exists()
+        assert first == second
+
+
+def tiny_specs():
+    return [
+        GsetSpec("tiny-a", 800, "random", 3000, False, 42),
+        GsetSpec("tiny-b", 800, "random", 3000, False, 43),
+    ]
+
+
+class TestRunners:
+    def test_quality_experiment_structure(self, tmp_path):
+        results = run_quality_experiment(
+            tiny_specs(),
+            runs_per_instance=2,
+            seed=1,
+            reference_cache=tmp_path / "refs.json",
+        )
+        assert set(results) == {800}
+        group = results[800]
+        assert set(group) == {"This work", "CiM/FPGA & CiM/ASIC"}
+        for res in group.values():
+            assert len(res.normalized_cuts) == 4  # 2 instances × 2 runs
+            assert 0 <= res.success <= 1
+            assert 0 < res.mean_normalized <= 1.05
+
+    def test_hardware_experiment_and_ratios(self):
+        spec = GsetSpec("tiny-hw", 800, "random", 3000, False, 44)
+        # shrink the iteration budget via a subclassed spec? iterations are
+        # tied to node count, so just run it (700 iterations is fast).
+        results = run_hardware_experiment([spec], runs_per_instance=1, seed=1)
+        ratios = reduction_ratios(results)
+        group = ratios[800]
+        assert group["CiM/FPGA"]["energy"] > group["CiM/ASIC"]["energy"] > 1
+        assert 5 < group["CiM/FPGA"]["time"] < 12
+
+    def test_reduction_ratios_requires_reference(self):
+        with pytest.raises(KeyError):
+            reduction_ratios({800: {}})
+
+
+class TestReport:
+    def make_results(self, tmp_path):
+        return run_quality_experiment(
+            tiny_specs()[:1],
+            runs_per_instance=1,
+            seed=1,
+            reference_cache=tmp_path / "refs.json",
+        )
+
+    def test_quality_table_renders(self, tmp_path):
+        table = quality_table(self.make_results(tmp_path))
+        assert "Fig 10" in table
+        assert "This work" in table
+        assert "paper 98%" in table
+
+    def test_hardware_table_renders(self):
+        spec = GsetSpec("tiny-hw2", 800, "random", 3000, False, 45)
+        results = run_hardware_experiment([spec], runs_per_instance=1, seed=1)
+        ratios = reduction_ratios(results)
+        e_table = hardware_table(results, ratios, "energy", PAPER_ENERGY_REDUCTIONS)
+        t_table = hardware_table(results, ratios, "time", PAPER_TIME_REDUCTIONS)
+        assert "Fig 8a" in e_table and "Fig 9a" in t_table
+        assert "732x" in e_table  # paper reference column
+        with pytest.raises(ValueError):
+            hardware_table(results, ratios, "power", {})
+
+    def test_table1_renders(self):
+        text = table1(
+            {
+                "problem_size": 3000,
+                "time_to_solution": 4.6e-3,
+                "energy_to_solution": 0.9e-6,
+                "success_rate": 0.98,
+            }
+        )
+        assert "This work (reproduction)" in text
+        assert "O(n)" in text
+        assert "HyCiM" in text

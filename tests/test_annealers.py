@@ -1,0 +1,210 @@
+"""Tests for the software annealers: in-situ (Algorithm 1), SA, MESA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantSchedule,
+    DirectEAnnealer,
+    InSituAnnealer,
+    MesaAnnealer,
+    estimate_temperature_range,
+    solve_ising,
+    solve_maxcut,
+)
+from repro.core.proposal import FlipSelector
+from repro.ising import IsingModel, MaxCutProblem
+from tests.conftest import brute_force_maxcut
+
+
+class TestFlipSelector:
+    def test_scan_covers_every_spin_once_per_sweep(self):
+        rng = np.random.default_rng(0)
+        sel = FlipSelector(10, 1, "scan", rng)
+        seen = [int(sel.next()[0]) for _ in range(10)]
+        assert sorted(seen) == list(range(10))
+
+    def test_scan_reshuffles_between_sweeps(self):
+        rng = np.random.default_rng(0)
+        sel = FlipSelector(50, 1, "scan", rng)
+        first = [int(sel.next()[0]) for _ in range(50)]
+        second = [int(sel.next()[0]) for _ in range(50)]
+        assert sorted(first) == sorted(second)
+        assert first != second
+
+    def test_random_mode_bounds(self):
+        rng = np.random.default_rng(0)
+        sel = FlipSelector(7, 3, "random", rng)
+        for _ in range(20):
+            flips = sel.next()
+            assert len(set(flips.tolist())) == 3
+            assert all(0 <= f < 7 for f in flips)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            FlipSelector(5, 6, "scan", rng)
+        with pytest.raises(ValueError):
+            FlipSelector(5, 1, "sorted", rng)
+
+
+class TestInSituAnnealer:
+    def test_energy_bookkeeping_consistent(self, small_model):
+        annealer = InSituAnnealer(small_model, seed=3)
+        result = annealer.run(500)
+        assert result.energy == pytest.approx(small_model.energy(result.sigma), abs=1e-6)
+        assert result.best_energy == pytest.approx(
+            small_model.energy(result.best_sigma), abs=1e-6
+        )
+        assert result.best_energy <= result.energy + 1e-9
+
+    def test_reaches_small_instance_optimum(self, tiny_maxcut):
+        result = solve_maxcut(tiny_maxcut, method="insitu", iterations=3000, seed=5)
+        assert result.best_cut == pytest.approx(brute_force_maxcut(tiny_maxcut))
+
+    def test_deterministic_given_seed(self, small_maxcut):
+        a = solve_maxcut(small_maxcut, method="insitu", iterations=500, seed=9)
+        b = solve_maxcut(small_maxcut, method="insitu", iterations=500, seed=9)
+        assert a.best_cut == b.best_cut
+        assert np.array_equal(a.anneal.sigma, b.anneal.sigma)
+
+    def test_trace_recording(self, small_model):
+        result = InSituAnnealer(small_model, record_trace=True, seed=1).run(200)
+        assert result.energy_trace.shape == (200,)
+        assert result.best_trace.shape == (200,)
+        assert np.all(np.diff(result.best_trace) <= 1e-12)
+        assert result.energy_trace[-1] == pytest.approx(result.energy)
+
+    def test_handles_multi_flip(self, small_model):
+        result = InSituAnnealer(small_model, flips_per_iteration=3, seed=2).run(300)
+        assert result.energy == pytest.approx(small_model.energy(result.sigma), abs=1e-6)
+
+    def test_initial_configuration_respected(self, small_model):
+        init = np.ones(small_model.num_spins, dtype=np.int8)
+        annealer = InSituAnnealer(small_model, seed=1)
+        result = annealer.run(1, initial=init)
+        # after one iteration at most one flip set (1 spin) differs
+        assert np.count_nonzero(result.sigma != init) <= 1
+
+    def test_iteration_hook_called(self, small_model):
+        calls = []
+        annealer = InSituAnnealer(
+            small_model,
+            seed=1,
+            iteration_hook=lambda it, de, acc, t: calls.append((it, acc)),
+        )
+        annealer.run(50)
+        assert len(calls) == 50
+        assert calls[0][0] == 0
+
+    def test_acceptance_scale_validation(self, small_model):
+        with pytest.raises(ValueError):
+            InSituAnnealer(small_model, acceptance_scale=-1.0)
+
+    def test_flip_count_validation(self, small_model):
+        with pytest.raises(ValueError):
+            InSituAnnealer(small_model, flips_per_iteration=0)
+
+    def test_schedule_length_mismatch_rejected(self, small_model):
+        sched = ConstantSchedule(10, 1.0)
+        annealer = InSituAnnealer(small_model, schedule=sched, seed=0)
+        with pytest.raises(ValueError, match="schedule"):
+            annealer.run(20)
+
+    def test_exponent_evaluations_zero(self, small_model):
+        """The whole point: no e^x hardware in the in-situ flow."""
+        result = InSituAnnealer(small_model, seed=1).run(200)
+        assert result.exponent_evaluations == 0
+
+    def test_field_model_handled(self):
+        model = IsingModel.random(10, with_fields=True, seed=4)
+        result = InSituAnnealer(model, seed=1).run(400)
+        assert result.energy == pytest.approx(model.energy(result.sigma), abs=1e-6)
+
+
+class TestDirectEAnnealer:
+    def test_energy_bookkeeping_consistent(self, small_model):
+        result = DirectEAnnealer(small_model, seed=3).run(500)
+        assert result.energy == pytest.approx(small_model.energy(result.sigma), abs=1e-6)
+
+    def test_reaches_small_instance_optimum(self, tiny_maxcut):
+        result = solve_maxcut(tiny_maxcut, method="sa", iterations=4000, seed=2)
+        assert result.best_cut == pytest.approx(brute_force_maxcut(tiny_maxcut))
+
+    def test_counts_exponent_evaluations(self, small_model):
+        result = DirectEAnnealer(small_model, seed=1).run(500)
+        assert result.exponent_evaluations == result.uphill_proposals
+        assert result.exponent_evaluations > 0
+
+    def test_zero_temperature_is_greedy(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        sched = ConstantSchedule(300, 1e-12)
+        result = DirectEAnnealer(model, schedule=sched, seed=1).run(300)
+        assert result.uphill_accepted == 0
+
+    def test_hot_temperature_accepts_most(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        sched = ConstantSchedule(300, 1e6)
+        result = DirectEAnnealer(model, schedule=sched, seed=1).run(300)
+        assert result.acceptance_rate > 0.95
+
+    def test_temperature_autotuning(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        t0, t1 = estimate_temperature_range(model, seed=1)
+        assert t0 > t1 > 0
+
+    def test_autotune_validation(self, small_model):
+        with pytest.raises(ValueError):
+            estimate_temperature_range(small_model, p_start=0.5, p_end=0.9)
+
+
+class TestMesa:
+    def test_runs_epochs_and_improves(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        result = MesaAnnealer(model, epochs=3, seed=1).run(900)
+        assert result.iterations == 900
+        assert result.best_energy <= result.energy + 1e-9
+        assert result.metadata["epochs"] == 3
+
+    def test_epoch_budget_split(self, small_model):
+        result = MesaAnnealer(small_model, epochs=4, seed=1).run(1002)
+        assert result.iterations == 1002
+
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError):
+            MesaAnnealer(small_model, epochs=0)
+        with pytest.raises(ValueError):
+            MesaAnnealer(small_model, epoch_decay=1.5)
+        with pytest.raises(ValueError):
+            MesaAnnealer(small_model, epochs=5, seed=1).run(3)
+
+
+class TestSolverApi:
+    def test_solve_ising_methods(self, small_model):
+        for method in ("insitu", "sa", "mesa"):
+            result = solve_ising(small_model, method=method, iterations=300, seed=1)
+            assert result.iterations == 300
+
+    def test_unknown_method(self, small_model):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve_ising(small_model, method="quantum")
+
+    def test_solve_maxcut_reports_cuts(self, small_maxcut):
+        result = solve_maxcut(
+            small_maxcut, iterations=500, seed=1, reference_cut=50.0
+        )
+        assert result.best_cut >= result.cut - 1e9
+        assert result.normalized_cut == pytest.approx(result.best_cut / 50.0)
+        assert result.is_success(0.5) in (True, False)
+
+    def test_solve_maxcut_without_reference(self, small_maxcut):
+        result = solve_maxcut(small_maxcut, iterations=200, seed=1)
+        assert result.normalized_cut is None
+        assert result.is_success() is None
+
+    def test_summaries_render(self, small_maxcut):
+        result = solve_maxcut(small_maxcut, iterations=200, seed=1, reference_cut=50.0)
+        assert "best cut" in result.summary()
+        assert "iterations" in result.anneal.summary()

@@ -1,0 +1,161 @@
+"""Tests for the vectorised multi-replica annealers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchDirectEAnnealer,
+    BatchInSituAnnealer,
+    ConstantSchedule,
+    DirectEAnnealer,
+    InSituAnnealer,
+)
+from repro.ising import IsingModel, MaxCutProblem
+
+
+class TestBatchBasics:
+    def test_shapes_and_consistency(self, small_model):
+        batch = BatchInSituAnnealer(small_model, replicas=8, seed=3)
+        result = batch.run(300)
+        assert result.num_replicas == 8
+        assert result.best_sigmas.shape == (8, small_model.num_spins)
+        for r in range(8):
+            check = small_model.energy(result.best_sigmas[r])
+            assert check == pytest.approx(float(result.best_energies[r]), abs=1e-6)
+            check_final = small_model.energy(result.final_sigmas[r])
+            assert check_final == pytest.approx(float(result.final_energies[r]), abs=1e-6)
+            assert result.best_energies[r] <= result.final_energies[r] + 1e-9
+
+    def test_deterministic_given_seed(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        a = BatchInSituAnnealer(model, replicas=4, seed=5).run(200)
+        b = BatchInSituAnnealer(model, replicas=4, seed=5).run(200)
+        assert np.allclose(a.best_energies, b.best_energies)
+
+    def test_replicas_are_independent(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        result = BatchInSituAnnealer(model, replicas=16, seed=1).run(100)
+        # different replicas end in different states
+        assert len({tuple(s) for s in result.final_sigmas.tolist()}) > 1
+
+    def test_field_models(self):
+        model = IsingModel.random(10, with_fields=True, seed=2)
+        result = BatchInSituAnnealer(model, replicas=5, seed=1).run(300)
+        for r in range(5):
+            assert model.energy(result.best_sigmas[r]) == pytest.approx(
+                float(result.best_energies[r]), abs=1e-6
+            )
+
+    def test_initial_broadcast(self, small_model):
+        init = np.ones(small_model.num_spins, dtype=np.int8)
+        batch = BatchInSituAnnealer(small_model, replicas=3, seed=1)
+        result = batch.run(1, initial=init)
+        for r in range(3):
+            assert np.count_nonzero(result.final_sigmas[r] != init) <= 1
+
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError):
+            BatchInSituAnnealer(small_model, replicas=0)
+        with pytest.raises(ValueError):
+            BatchInSituAnnealer(small_model, replicas=2, proposal="walk")
+        batch = BatchInSituAnnealer(small_model, replicas=2, seed=1)
+        with pytest.raises(ValueError):
+            batch.run(0)
+        with pytest.raises(ValueError):
+            batch.run(10, initial=np.ones(3, dtype=np.int8))
+
+
+class TestStatisticalEquivalence:
+    def test_matches_sequential_ensemble(self):
+        """Batch replica quality matches sequential runs statistically."""
+        problem = MaxCutProblem.random(60, 300, seed=9)
+        model = problem.to_ising()
+        iterations = 800
+        batch = BatchInSituAnnealer(model, replicas=24, seed=11).run(iterations)
+        batch_cuts = batch.best_cuts(problem)
+        sequential_cuts = [
+            problem.cut_from_energy(
+                InSituAnnealer(model, seed=100 + s).run(iterations).best_energy
+            )
+            for s in range(8)
+        ]
+        assert np.mean(batch_cuts) == pytest.approx(
+            np.mean(sequential_cuts), rel=0.05
+        )
+
+    def test_random_proposal_mode(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        result = BatchInSituAnnealer(
+            model, replicas=6, proposal="random", seed=2
+        ).run(400)
+        assert np.all(result.accepted > 0)
+
+
+class TestBatchDirectE:
+    def test_shapes_and_energy_consistency(self, small_model):
+        batch = BatchDirectEAnnealer(small_model, replicas=6, seed=2)
+        result = batch.run(300)
+        for r in range(6):
+            assert small_model.energy(result.best_sigmas[r]) == pytest.approx(
+                float(result.best_energies[r]), abs=1e-6
+            )
+
+    def test_zero_temperature_is_greedy(self, small_maxcut):
+        model = small_maxcut.to_ising()
+        sched = ConstantSchedule(300, 1e-12)
+        result = BatchDirectEAnnealer(model, replicas=5, schedule=sched, seed=1).run(300)
+        # greedy: energy can only go down, so final equals best
+        assert np.allclose(result.final_energies, result.best_energies)
+
+    def test_matches_sequential_sa_ensemble(self):
+        problem = MaxCutProblem.random(60, 300, seed=9)
+        model = problem.to_ising()
+        iterations = 1500
+        batch = BatchDirectEAnnealer(model, replicas=24, seed=3).run(iterations)
+        sequential = [
+            problem.cut_from_energy(
+                DirectEAnnealer(model, seed=200 + s).run(iterations).best_energy
+            )
+            for s in range(8)
+        ]
+        assert np.mean(batch.best_cuts(problem)) == pytest.approx(
+            np.mean(sequential), rel=0.05
+        )
+
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError):
+            BatchDirectEAnnealer(small_model, replicas=0)
+        with pytest.raises(ValueError):
+            BatchDirectEAnnealer(small_model, replicas=2, proposal="walk")
+
+    def test_insitu_beats_sa_in_batch_at_paper_budget(self):
+        """The Fig 10 separation visible directly through the batch API."""
+        problem = MaxCutProblem.random(400, 4000, seed=6)
+        model = problem.to_ising()
+        iterations = 350  # sub-sweep budget, as in the paper's 800/700 setup
+        ours = BatchInSituAnnealer(model, replicas=12, seed=4).run(iterations)
+        base = BatchDirectEAnnealer(model, replicas=12, seed=4).run(iterations)
+        assert ours.best_cuts(problem).mean() > base.best_cuts(problem).mean()
+
+
+class TestThroughput:
+    def test_batch_faster_than_sequential(self):
+        """The point of the feature: R replicas cheaper than R runs."""
+        import time
+
+        problem = MaxCutProblem.random(200, 1200, seed=4)
+        model = problem.to_ising()
+        iterations, R = 500, 16
+
+        t0 = time.perf_counter()
+        BatchInSituAnnealer(model, replicas=R, seed=1).run(iterations)
+        batch_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for s in range(R):
+            InSituAnnealer(model, seed=s).run(iterations)
+        sequential_time = time.perf_counter() - t0
+
+        assert batch_time < sequential_time

@@ -1,0 +1,116 @@
+"""Tests for device characterisation: metrics, retention, endurance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    EnduranceModel,
+    FeFET,
+    RetentionModel,
+    annealing_runs_per_lifetime,
+    extract_metrics,
+)
+
+
+class TestExtractMetrics:
+    def test_metrics_match_design_targets(self):
+        metrics = extract_metrics(FeFET())
+        assert metrics.memory_window == pytest.approx(1.2, rel=0.1)
+        assert metrics.on_off_ratio > 1e4
+        assert 0.05 < metrics.subthreshold_swing < 0.12  # V/decade
+        assert metrics.on_current > metrics.off_current
+
+    def test_swing_matches_transistor_model(self):
+        fefet = FeFET()
+        metrics = extract_metrics(fefet)
+        assert metrics.subthreshold_swing == pytest.approx(
+            fefet.transistor.subthreshold_swing(), rel=0.15
+        )
+
+
+class TestRetention:
+    def test_no_decay_at_time_zero(self):
+        assert float(RetentionModel().polarization_fraction(0.0)) == 1.0
+
+    def test_monotone_decay(self):
+        model = RetentionModel()
+        times = np.logspace(0, 10, 30)
+        fractions = model.polarization_fraction(times)
+        assert np.all(np.diff(fractions) < 0)
+
+    def test_ten_year_retention_target(self):
+        """Default parameters keep >60 % of the window after 10 years."""
+        ten_years = 10 * 365.25 * 24 * 3600.0
+        assert float(RetentionModel().polarization_fraction(ten_years)) > 0.6
+
+    @settings(max_examples=25, deadline=None)
+    @given(fraction=st.floats(0.05, 0.95))
+    def test_time_to_fraction_inverts_decay(self, fraction):
+        model = RetentionModel()
+        t = model.time_to_fraction(fraction)
+        assert float(model.polarization_fraction(t)) == pytest.approx(fraction, rel=1e-6)
+
+    def test_window_after(self):
+        model = RetentionModel()
+        assert model.window_after(1.2, 0.0) == pytest.approx(1.2)
+        assert model.window_after(1.2, 1e12) < 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionModel(tau=-1.0)
+        with pytest.raises(ValueError):
+            RetentionModel(beta=1.5)
+        with pytest.raises(ValueError):
+            RetentionModel().polarization_fraction(-1.0)
+        with pytest.raises(ValueError):
+            RetentionModel().time_to_fraction(1.5)
+
+
+class TestEndurance:
+    def test_fresh_device_is_reference(self):
+        assert float(EnduranceModel().window_fraction(0)) == pytest.approx(1.0)
+
+    def test_wake_up_then_fatigue(self):
+        model = EnduranceModel()
+        early = float(model.window_fraction(1e4))
+        late = float(model.window_fraction(1e12))
+        assert early > 1.0  # wake-up opens the window slightly
+        assert late < 0.1  # deep fatigue closes it
+
+    def test_cycles_to_fraction(self):
+        model = EnduranceModel()
+        cycles = model.cycles_to_fraction(0.5)
+        assert 1e7 < cycles < 1e12
+        assert float(model.window_fraction(cycles * 10)) < 0.5
+
+    def test_no_fatigue_never_reaches_fraction(self):
+        model = EnduranceModel(fatigue_cycles=1e30)
+        assert model.cycles_to_fraction(0.5) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(wake_up_strength=-0.1)
+        with pytest.raises(ValueError):
+            EnduranceModel(fatigue_cycles=0)
+        with pytest.raises(ValueError):
+            EnduranceModel().window_fraction(-5)
+        with pytest.raises(ValueError):
+            EnduranceModel().cycles_to_fraction(0.0)
+
+
+class TestLifetime:
+    def test_problem_capacity(self):
+        runs = annealing_runs_per_lifetime(EnduranceModel())
+        assert runs > 1e6  # one program per problem: array outlives millions
+
+    def test_reprogram_overhead_scales_down(self):
+        model = EnduranceModel()
+        base = annealing_runs_per_lifetime(model, reprograms_per_run=1)
+        heavy = annealing_runs_per_lifetime(model, reprograms_per_run=10)
+        assert heavy == pytest.approx(base / 10)
+        with pytest.raises(ValueError):
+            annealing_runs_per_lifetime(model, reprograms_per_run=0)

@@ -1,0 +1,200 @@
+"""Tests for the circuit substrate: ADC, drivers, quantizer, exponent, wires."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    BackGateDac,
+    ExponentUnit,
+    LineDriver,
+    MatrixQuantizer,
+    SarAdc,
+    ShiftAddUnit,
+    WireModel,
+)
+
+
+class TestSarAdc:
+    def test_code_monotone_in_input(self):
+        adc = SarAdc(bits=8, full_scale=1e-5)
+        inputs = np.linspace(0, 1e-5, 300)
+        codes = adc.convert(inputs)
+        assert np.all(np.diff(codes) >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(frac=st.floats(0.0, 1.0))
+    def test_quantization_error_within_half_lsb(self, frac):
+        adc = SarAdc(bits=10, full_scale=2e-5)
+        x = frac * adc.full_scale
+        err = abs(float(adc.quantize(x)) - x)
+        assert err <= adc.lsb / 2 + 1e-18
+
+    def test_saturation(self):
+        adc = SarAdc(bits=6, full_scale=1e-6)
+        assert adc.convert(5e-6) == adc.levels - 1
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            SarAdc().convert(-1e-6)
+
+    def test_levels_and_lsb(self):
+        adc = SarAdc(bits=4, full_scale=1.5e-6)
+        assert adc.levels == 16
+        assert adc.lsb == pytest.approx(1.5e-6 / 15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SarAdc(bits=0)
+        with pytest.raises(ValueError):
+            SarAdc(full_scale=-1.0)
+        with pytest.raises(ValueError):
+            SarAdc(mux_ratio=0)
+
+
+class TestDrivers:
+    def test_driver_energy_scales_with_toggles(self):
+        d = LineDriver()
+        assert d.energy(10) == pytest.approx(10 * d.energy_per_toggle)
+        assert d.energy(0) == 0.0
+        with pytest.raises(ValueError):
+            d.energy(-1)
+
+    def test_driver_energy_is_cv2(self):
+        d = LineDriver(capacitance=1e-15, swing=2.0)
+        assert d.energy_per_toggle == pytest.approx(4e-15)
+
+    def test_bg_dac_snap_to_grid(self):
+        dac = BackGateDac()
+        assert dac.snap(0.234) == pytest.approx(0.23)
+        assert dac.snap(-1.0) == 0.0
+        assert dac.snap(5.0) == pytest.approx(0.7)
+
+    def test_bg_dac_level_count(self):
+        assert BackGateDac().num_levels == 71
+
+    def test_bg_dac_energy(self):
+        dac = BackGateDac()
+        assert dac.energy(3) == pytest.approx(3 * dac.energy_per_update)
+        with pytest.raises(ValueError):
+            dac.energy(-1)
+
+    def test_bg_dac_validation(self):
+        with pytest.raises(ValueError):
+            BackGateDac(v_min=0.5, v_max=0.1)
+
+
+class TestExponentUnit:
+    def test_named_configs(self):
+        fpga, asic = ExponentUnit.fpga(), ExponentUnit.asic()
+        assert fpga.energy_per_eval > asic.energy_per_eval
+        assert fpga.label == "fpga"
+        assert asic.label == "asic"
+
+    def test_evaluate_accurate_for_metropolis_range(self):
+        unit = ExponentUnit.asic()
+        xs = np.linspace(-10, 0, 30)
+        out = unit.evaluate(xs)
+        assert np.allclose(out, np.exp(xs), atol=2 ** -unit.fraction_bits)
+
+    def test_output_is_quantized(self):
+        unit = ExponentUnit(energy_per_eval=1e-12, time_per_eval=1e-9, fraction_bits=4)
+        val = float(unit.evaluate(-0.1))
+        assert val * 16 == pytest.approx(round(val * 16))
+
+    def test_rejects_positive_arguments(self):
+        with pytest.raises(ValueError):
+            ExponentUnit.asic().evaluate(0.5)
+
+
+class TestWireModel:
+    def test_settle_time_grows_quadratically(self):
+        w = WireModel()
+        t100 = w.settle_time(100)
+        t200 = w.settle_time(200)
+        assert t200 == pytest.approx(4 * t100)
+
+    def test_attenuation_reduces_large_currents_more(self):
+        w = WireModel()
+        small = w.attenuation(np.array([1e-7]), 1000).item()
+        large = w.attenuation(np.array([1e-5]), 1000).item()
+        assert small / 1e-7 > large / 1e-5  # relative loss grows with current
+
+    def test_attenuation_bounded(self):
+        """Loss is clipped at 20 %, so the output never collapses."""
+        w = WireModel(ir_drop_coefficient=100.0)
+        out = w.attenuation(np.array([1e-3]), 3000).item()
+        assert out == pytest.approx(0.8e-3)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            WireModel().settle_time(-1)
+
+
+class TestShiftAdd:
+    def test_combine_binary_weights(self):
+        sa = ShiftAddUnit()
+        # codes per bit plane: b0=1, b1=2, b2=3 → 1 + 4 + 12 = 17
+        assert sa.combine([1, 2, 3]) == pytest.approx(17.0)
+
+    def test_combine_with_signs(self):
+        sa = ShiftAddUnit()
+        codes = np.array([[1, 1], [1, 0]])  # groups: 3 and 1
+        assert sa.combine(codes, signs=[1, -1]) == pytest.approx(2.0)
+
+    def test_combine_validates_shape(self):
+        with pytest.raises(ValueError):
+            ShiftAddUnit().combine(np.zeros((2, 2, 2)))
+
+    def test_energy(self):
+        sa = ShiftAddUnit()
+        assert sa.energy(8) == pytest.approx(8 * sa.energy_per_code)
+        with pytest.raises(ValueError):
+            sa.energy(-1)
+
+
+class TestMatrixQuantizer:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
+    def test_reconstruction_error_within_half_lsb(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        A = rng.uniform(-3, 3, (n, n))
+        A = (A + A.T) / 2
+        q = MatrixQuantizer(bits)
+        reconstructed = q.quantize(A).dequantize()
+        assert np.max(np.abs(reconstructed - A)) <= q.lsb_for(A) / 2 + 1e-12
+
+    def test_sign_planes_disjoint(self):
+        rng = np.random.default_rng(3)
+        A = rng.uniform(-1, 1, (6, 6))
+        A = (A + A.T) / 2
+        qm = MatrixQuantizer(4).quantize(A)
+        overlap = qm.positive_planes.any(axis=0) & qm.negative_planes.any(axis=0)
+        assert not overlap.any()
+
+    def test_non_negative_matrix_has_empty_negative_plane(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        qm = MatrixQuantizer(4).quantize(A)
+        assert not qm.negative_planes.any()
+        assert qm.num_columns == 2 * 4
+
+    def test_zero_matrix(self):
+        qm = MatrixQuantizer(4).quantize(np.zeros((3, 3)))
+        assert np.all(qm.dequantize() == 0)
+        assert qm.cell_count() == 0
+
+    def test_exact_for_single_magnitude(self):
+        """Unit-weight Max-Cut style matrices quantize exactly."""
+        A = np.array([[0, 0.25, 0.25], [0.25, 0, 0], [0.25, 0, 0]])
+        q = MatrixQuantizer(4)
+        assert q.quantization_error(A) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatrixQuantizer(0)
+        with pytest.raises(ValueError):
+            MatrixQuantizer(17)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ising import generate_random, write_gset
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "toy.gset"
+    write_gset(generate_random(40, 150, seed=3), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "out.gset"],
+            ["solve", "in.gset"],
+            ["compare", "in.gset"],
+            ["curves"],
+            ["suite"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_generate_and_solve(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.gset")
+        assert main(["generate", out, "--nodes", "30", "--edges", "80", "--seed", "1"]) == 0
+        assert main(["solve", out, "--iterations", "500", "--seed", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "best cut" in printed
+
+    def test_generate_families(self, tmp_path):
+        for family in ("random", "skew", "toroidal"):
+            out = str(tmp_path / f"{family}.gset")
+            code = main(
+                ["generate", out, "--nodes", "36", "--edges", "60",
+                 "--family", family, "--seed", "1"]
+            )
+            assert code == 0
+
+    def test_solve_with_reference_and_partition(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--iterations", "2000", "--reference",
+             "--partition", "--method", "sa"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "reference cut" in printed
+        assert "partition sizes" in printed
+
+    def test_compare(self, instance_file, capsys):
+        assert main(["compare", instance_file, "--iterations", "200"]) == 0
+        printed = capsys.readouterr().out
+        assert "CiM/FPGA" in printed
+        assert "E ratio" in printed
+
+    def test_curves_both_devices(self, capsys):
+        assert main(["curves", "--device", "fefet", "--points", "5"]) == 0
+        assert main(["curves", "--device", "dgfefet", "--points", "5"]) == 0
+        printed = capsys.readouterr().out
+        assert "Fig 2b" in printed
+        assert "Fig 6b" in printed
+
+    def test_suite_lists_30(self, capsys):
+        assert main(["suite"]) == 0
+        printed = capsys.readouterr().out
+        assert "R800-0" in printed
+        assert "T3000-2" in printed

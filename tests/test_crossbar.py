@@ -1,0 +1,195 @@
+"""Tests for the DG FeFET crossbar: both backends, stats, nonidealities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import DgFefetCrossbar
+from repro.devices import VBG_MAX, VariationModel
+from repro.ising import MaxCutProblem
+
+
+def make_problem(n=16, m=48, seed=1, weighted=False):
+    return MaxCutProblem.random(n, m, weighted=weighted, seed=seed)
+
+
+def increment_vectors(sigma, flips):
+    sigma = np.asarray(sigma, dtype=np.float64)
+    c = np.zeros_like(sigma)
+    c[flips] = -sigma[flips]
+    r = sigma.copy()
+    r[flips] = 0.0
+    return r, c
+
+
+class TestBehavioralBackend:
+    def test_matches_exact_arithmetic(self):
+        p = make_problem()
+        J = p.to_ising().J
+        xb = DgFefetCrossbar(J, bits=4, backend="behavioral", seed=0)
+        rng = np.random.default_rng(7)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        for t in (1, 2, 4):
+            flips = rng.choice(p.num_nodes, t, replace=False)
+            r, c = increment_vectors(sigma, flips)
+            value, _ = xb.compute_increment(r, c, VBG_MAX)
+            exact = float(r @ xb.matrix_hat @ c) * xb.factor(VBG_MAX)
+            assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_factor_scales_value(self):
+        p = make_problem()
+        xb = DgFefetCrossbar(p.to_ising().J, seed=0)
+        rng = np.random.default_rng(3)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        r, c = increment_vectors(sigma, [2])
+        v_hi, _ = xb.compute_increment(r, c, VBG_MAX)
+        v_lo, _ = xb.compute_increment(r, c, 0.3)
+        if abs(v_hi) > 1e-12:
+            assert abs(v_lo) < abs(v_hi)
+            assert v_lo * v_hi >= 0  # same sign
+
+    def test_factor_curve_normalised(self):
+        xb = DgFefetCrossbar(make_problem().to_ising().J, seed=0)
+        assert xb.factor(VBG_MAX) == pytest.approx(1.0)
+        assert 0 <= xb.factor(0.0) < 0.1
+
+    def test_empty_sigma_c_gives_zero(self):
+        p = make_problem()
+        xb = DgFefetCrossbar(p.to_ising().J, seed=0)
+        zeros = np.zeros(p.num_nodes)
+        ones = np.ones(p.num_nodes)
+        value, stats = xb.compute_increment(ones, zeros, VBG_MAX)
+        assert value == 0.0
+        assert stats.adc_conversions == 0
+
+    def test_input_validation(self):
+        p = make_problem()
+        xb = DgFefetCrossbar(p.to_ising().J, seed=0)
+        bad = np.full(p.num_nodes, 0.5)
+        ok = np.zeros(p.num_nodes)
+        with pytest.raises(ValueError):
+            xb.compute_increment(bad, ok, VBG_MAX)
+        with pytest.raises(ValueError):
+            xb.compute_increment(ok[:-1], ok, VBG_MAX)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DgFefetCrossbar(make_problem().to_ising().J, backend="quantum")
+
+
+class TestDeviceBackend:
+    def test_close_to_behavioral_ideal(self):
+        p = make_problem(n=20, m=80)
+        J = p.to_ising().J
+        xb_b = DgFefetCrossbar(J, backend="behavioral", seed=0)
+        xb_d = DgFefetCrossbar(J, backend="device", seed=0)
+        rng = np.random.default_rng(5)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        worst = 0.0
+        for trial in range(10):
+            flips = rng.choice(p.num_nodes, 1 + trial % 3, replace=False)
+            r, c = increment_vectors(sigma, flips)
+            vbg = float(rng.uniform(0.1, VBG_MAX))
+            vb, _ = xb_b.compute_increment(r, c, vbg)
+            vd, _ = xb_d.compute_increment(r, c, vbg)
+            worst = max(worst, abs(vb - vd))
+        # within a few percent of the typical coupling magnitude
+        assert worst < 0.1 * np.abs(J[J != 0]).mean() * 4
+
+    def test_quadratic_form_device(self):
+        p = make_problem(n=16, m=40)
+        J = p.to_ising().J
+        xb_d = DgFefetCrossbar(J, backend="device", seed=0)
+        rng = np.random.default_rng(9)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        value, stats = xb_d.compute_quadratic(sigma)
+        exact = float(sigma @ xb_d.matrix_hat @ sigma)
+        assert value == pytest.approx(exact, abs=0.15 * max(abs(exact), 1.0))
+        assert stats.phases == 2
+
+    def test_signed_matrix_uses_both_planes(self):
+        p = make_problem(n=12, m=30, weighted=True)
+        J = p.to_ising().J
+        xb_d = DgFefetCrossbar(J, backend="device", seed=0)
+        rng = np.random.default_rng(2)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        r, c = increment_vectors(sigma, [0, 5])
+        vd, stats = xb_d.compute_increment(r, c, VBG_MAX)
+        exact = float(r @ xb_d.matrix_hat @ c)
+        assert vd == pytest.approx(exact, abs=0.3)
+        # negative plane doubles the sensed columns
+        assert stats.adc_conversions == stats.phases * 2 * xb_d.bits * 2
+
+    def test_variation_perturbs_device_result(self):
+        p = make_problem(n=16, m=60)
+        J = p.to_ising().J
+        ideal = DgFefetCrossbar(J, backend="device", seed=3)
+        varied = DgFefetCrossbar(
+            J, backend="device", seed=3, variation=VariationModel(vth_sigma=0.08)
+        )
+        rng = np.random.default_rng(4)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        diffs = []
+        for i in range(6):
+            r, c = increment_vectors(sigma, [i])
+            vi, _ = ideal.compute_increment(r, c, 0.5)
+            vv, _ = varied.compute_increment(r, c, 0.5)
+            diffs.append(abs(vi - vv))
+        assert max(diffs) > 0
+
+
+class TestActivationStats:
+    def test_incremental_counts(self):
+        p = make_problem(n=16, m=48)
+        xb = DgFefetCrossbar(p.to_ising().J, bits=4, seed=0)
+        rng = np.random.default_rng(1)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        r, c = increment_vectors(sigma, [3])
+        _, stats = xb.compute_increment(r, c, VBG_MAX)
+        assert stats.phases == 2
+        assert stats.adc_conversions == 2 * 1 * 4  # phases · |F| · k (pos only)
+        assert stats.mux_slots == 2  # one slot per phase
+        assert stats.sa_codes == stats.adc_conversions
+
+    def test_full_activation_counts(self):
+        p = make_problem(n=16, m=48)
+        xb = DgFefetCrossbar(p.to_ising().J, bits=4, seed=0)
+        rng = np.random.default_rng(1)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        _, stats = xb.compute_quadratic(sigma)
+        assert stats.adc_conversions == 2 * 16 * 4
+        assert stats.mux_slots == 2 * xb.adc.mux_ratio
+
+    def test_toggle_accounting(self):
+        p = make_problem(n=10, m=20)
+        xb = DgFefetCrossbar(p.to_ising().J, seed=0)
+        rng = np.random.default_rng(1)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        r, c = increment_vectors(sigma, [2])
+        _, first = xb.compute_increment(r, c, VBG_MAX)
+        _, repeat = xb.compute_increment(r, c, VBG_MAX)
+        assert repeat.fg_toggles == 0
+        assert repeat.dl_toggles == 0
+        r2, c2 = increment_vectors(sigma, [5])
+        _, moved = xb.compute_increment(r2, c2, VBG_MAX)
+        assert moved.dl_toggles == 2  # column 2 released, column 5 driven
+
+    def test_settle_time_positive(self):
+        p = make_problem()
+        xb = DgFefetCrossbar(p.to_ising().J, seed=0)
+        rng = np.random.default_rng(1)
+        sigma = rng.choice([-1.0, 1.0], p.num_nodes)
+        r, c = increment_vectors(sigma, [0])
+        _, stats = xb.compute_increment(r, c, VBG_MAX)
+        assert stats.settle_time > 0
+
+    def test_programming_summary(self):
+        p = make_problem(n=8, m=12)
+        xb = DgFefetCrossbar(p.to_ising().J, bits=4, seed=0)
+        prog = xb.programming_summary()
+        assert prog["cells"] == 2 * 4 * 8 * 8
+        assert prog["energy"] > 0
+        assert prog["programmed_ones"] == xb.quantized.cell_count()

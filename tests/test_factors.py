@@ -1,0 +1,140 @@
+"""Tests for the fractional/exponential annealing factors and the encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExponentialFactor,
+    FractionalFactor,
+    VbgEncoder,
+    fit_fractional_factor,
+)
+from repro.devices import DGFeFET, VBG_MAX
+
+
+class TestFractionalFactor:
+    def test_published_parameters(self):
+        """f(T) = 1/(−0.006 T + 5) − 0.2 (paper Fig 6c)."""
+        f = FractionalFactor()
+        assert float(f.value(np.array(0.0))) == pytest.approx(0.0)
+        assert f.t_max == pytest.approx((5 - 1 / 1.2) / 0.006, rel=1e-6)
+        assert float(f.value(np.array(f.t_max))) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self):
+        f = FractionalFactor()
+        grid = f.value(np.linspace(0, f.t_max, 200))
+        assert np.all(np.diff(grid) >= 0)
+        assert np.all(grid >= 0)
+
+    def test_clamps_below_zero(self):
+        f = FractionalFactor()
+        assert float(f.value(np.array(-50.0))) == 0.0
+
+    def test_vbg_mapping_round_trip(self):
+        f = FractionalFactor()
+        temps = np.linspace(0, f.t_max, 20)
+        back = f.temperature_for_vbg(f.vbg_for_temperature(temps))
+        assert np.allclose(back, temps, atol=1e-9)
+
+    def test_vbg_range(self):
+        f = FractionalFactor()
+        assert float(f.vbg_for_temperature(0.0)) == pytest.approx(0.0)
+        assert float(f.vbg_for_temperature(f.t_max)) == pytest.approx(VBG_MAX)
+
+    def test_rejects_decreasing_parameterisation(self):
+        with pytest.raises(ValueError):
+            FractionalFactor(a=-1.0, b=-0.006, c=5.0, d=1.2)
+
+    def test_rejects_zero_params(self):
+        with pytest.raises(ValueError):
+            FractionalFactor(a=0.0)
+        with pytest.raises(ValueError):
+            FractionalFactor(c=0.0)
+
+
+class TestExponentialFactor:
+    def test_downhill_always_accepted(self):
+        e = ExponentialFactor()
+        assert float(e.acceptance(-1.0, 2.0)) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(de=st.floats(0.01, 50), t=st.floats(0.1, 100))
+    def test_matches_metropolis(self, de, t):
+        e = ExponentialFactor()
+        assert float(e.acceptance(de, t)) == pytest.approx(np.exp(-de / t))
+
+    def test_first_order_close_for_small_ratio(self):
+        e = ExponentialFactor()
+        assert float(e.first_order(0.1, 10.0)) == pytest.approx(
+            float(e.acceptance(0.1, 10.0)), abs=1e-3
+        )
+
+    def test_first_order_clipped(self):
+        e = ExponentialFactor()
+        assert float(e.first_order(100.0, 1.0)) == 0.0
+        assert float(e.first_order(-5.0, 1.0)) == 1.0
+
+
+class TestFitting:
+    def test_refit_recovers_published_curve(self):
+        truth = FractionalFactor()
+        t = np.linspace(0, truth.t_max, 50)
+        fitted = fit_fractional_factor(t, truth.value(t))
+        assert np.allclose(fitted.value(t), truth.value(t), atol=1e-6)
+
+    def test_fit_device_transfer_curve(self):
+        """Fig 6c: fit f(T) against the real DG FeFET normalised current."""
+        cell = DGFeFET()
+        cell.program_bit(1)
+        truth = FractionalFactor()
+        t = np.linspace(0, truth.t_max, 40)
+        vbg = truth.vbg_for_temperature(t)
+        target = cell.normalized_factor(vbg)
+        fitted = fit_fractional_factor(t, target)
+        err = np.max(np.abs(fitted.value(t) - target))
+        assert err < 0.08  # "approximate" match, as the paper shows
+
+    def test_fit_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_fractional_factor([1.0, 2.0], [0.5])
+
+
+class TestVbgEncoder:
+    def test_ideal_encoder_small_error(self):
+        f = FractionalFactor()
+        enc = VbgEncoder(f)
+        errs = enc.encoding_error(np.linspace(0, f.t_max, 30))
+        assert np.max(errs) < 0.05
+
+    def test_levels_on_grid(self):
+        f = FractionalFactor()
+        enc = VbgEncoder(f)
+        assert enc.num_levels == 71
+        level = enc.encode(f.t_max / 2)
+        assert round(level / 0.01) == pytest.approx(level / 0.01)
+
+    def test_device_transfer_encoder(self):
+        """Encoding through the real cell inverts its transfer curve."""
+        cell = DGFeFET()
+        cell.program_bit(1)
+        f = FractionalFactor()
+        enc = VbgEncoder(f, transfer=lambda v: float(cell.normalized_factor(np.asarray(v))))
+        t_mid = f.t_max / 2
+        realized = enc.realized_factor(t_mid)
+        requested = float(f.value(np.asarray(t_mid)))
+        assert realized == pytest.approx(requested, abs=0.05)
+
+    def test_extreme_temperatures(self):
+        f = FractionalFactor()
+        enc = VbgEncoder(f)
+        assert enc.encode(0.0) == pytest.approx(0.0)
+        assert enc.encode(f.t_max) == pytest.approx(VBG_MAX)
+
+    def test_rejects_decreasing_transfer(self):
+        f = FractionalFactor()
+        with pytest.raises(ValueError):
+            VbgEncoder(f, transfer=lambda v: 1.0 - v)

@@ -1,0 +1,160 @@
+"""Tests for the Gset format, generators and the 30-instance paper suite."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ising import (
+    PAPER_ITERATIONS,
+    build_instance,
+    generate_random,
+    generate_skew,
+    generate_toroidal,
+    paper_instance_suite,
+    parse_gset,
+    suite_by_size,
+    write_gset,
+)
+from repro.ising.gset import GsetSpec, random_edge_set
+
+
+class TestFormat:
+    GSET_TEXT = "3 2\n1 2 1\n2 3 -1\n"
+
+    def test_parse_basic(self):
+        p = parse_gset(self.GSET_TEXT, name="toy")
+        assert p.num_nodes == 3
+        assert p.num_edges == 2
+        assert p.weight_array.tolist() == [1.0, -1.0]
+        assert p.edge_array.tolist() == [[0, 1], [1, 2]]
+
+    def test_parse_default_weight_and_comments(self):
+        text = "# comment\n2 1\n1 2\n"
+        p = parse_gset(text)
+        assert p.weight_array.tolist() == [1.0]
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_gset("")
+
+    def test_parse_rejects_missing_edges(self):
+        with pytest.raises(ValueError, match="edge lines"):
+            parse_gset("3 5\n1 2 1\n")
+
+    def test_round_trip(self):
+        p = generate_random(12, 20, weighted=True, seed=5)
+        text = write_gset(p)
+        back = parse_gset(text)
+        assert back.num_nodes == p.num_nodes
+        assert np.array_equal(back.edge_array, p.edge_array)
+        assert np.allclose(back.weight_array, p.weight_array)
+
+    def test_write_to_file_object(self):
+        p = generate_random(5, 4, seed=1)
+        buf = io.StringIO()
+        write_gset(p, buf)
+        assert buf.getvalue().startswith("5 4\n")
+
+    def test_round_trip_via_path(self, tmp_path):
+        p = generate_random(8, 10, seed=2)
+        path = tmp_path / "toy.gset"
+        write_gset(p, path)
+        back = parse_gset(path)
+        assert np.array_equal(back.edge_array, p.edge_array)
+
+
+class TestGenerators:
+    def test_random_edge_set_unique_and_in_range(self):
+        edges, weights = random_edge_set(30, 100, weighted=False, seed=1)
+        assert edges.shape == (100, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = set(map(tuple, edges))
+        assert len(keys) == 100
+        assert np.all(weights == 1.0)
+
+    def test_random_edge_set_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            random_edge_set(4, 7)
+
+    def test_random_weighted_pm1(self):
+        _, weights = random_edge_set(30, 100, weighted=True, seed=2)
+        assert set(np.unique(weights)).issubset({-1.0, 1.0})
+
+    def test_generators_are_deterministic(self):
+        a = generate_random(50, 120, seed=9)
+        b = generate_random(50, 120, seed=9)
+        assert np.array_equal(a.edge_array, b.edge_array)
+
+    def test_skew_has_heavier_tail_than_random(self):
+        skew = generate_skew(200, 800, seed=3)
+        rand = generate_random(200, 800, seed=3)
+        assert skew.degrees().max() > rand.degrees().max()
+        assert skew.num_edges == 800
+
+    def test_toroidal_structure(self):
+        p = generate_toroidal(5, 6, seed=1)
+        assert p.num_nodes == 30
+        assert p.num_edges == 60
+        assert np.all(p.degrees() == 4)
+        assert np.all(p.weight_array == 1.0)
+
+    def test_toroidal_weighted(self):
+        p = generate_toroidal(5, 6, weighted=True, seed=1)
+        assert set(np.unique(p.weight_array)).issubset({-1.0, 1.0})
+
+    def test_toroidal_even_grid_is_bipartite(self):
+        import networkx as nx
+
+        p = generate_toroidal(4, 6, seed=0)
+        assert nx.is_bipartite(p.to_networkx())
+
+    def test_toroidal_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            generate_toroidal(2, 5)
+
+
+class TestPaperSuite:
+    def test_suite_composition(self):
+        suite = paper_instance_suite()
+        assert len(suite) == 30
+        groups = suite_by_size(suite)
+        assert {n: len(v) for n, v in groups.items()} == {
+            800: 9,
+            1000: 9,
+            2000: 9,
+            3000: 3,
+        }
+
+    def test_iteration_budgets(self):
+        for spec in paper_instance_suite():
+            assert spec.iterations == PAPER_ITERATIONS[spec.nodes]
+
+    def test_specs_have_unique_names_and_seeds(self):
+        suite = paper_instance_suite()
+        assert len({s.name for s in suite}) == 30
+        assert len({(s.nodes, s.seed) for s in suite}) == 30
+
+    def test_build_matches_spec(self):
+        spec = paper_instance_suite()[0]
+        p = build_instance(spec)
+        assert p.num_nodes == spec.nodes
+        assert p.num_edges == spec.edges
+        assert p.name == spec.name
+
+    def test_build_toroidal_3000(self):
+        spec = [s for s in paper_instance_suite() if s.nodes == 3000][0]
+        p = build_instance(spec)
+        assert p.num_nodes == 3000
+        assert p.num_edges == 6000
+        assert np.all(p.weight_array == 1.0)
+
+    def test_build_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="family"):
+            build_instance(GsetSpec("bad", 800, "nope", 10, False, 1))
+
+    def test_build_rejects_unknown_torus_size(self):
+        with pytest.raises(ValueError, match="torus"):
+            build_instance(GsetSpec("bad", 800, "toroidal", 10, False, 1))

@@ -1,0 +1,146 @@
+"""Cross-stack property-based tests (hypothesis).
+
+These chain multiple layers together and assert the invariants that keep
+the reproduction honest: the crossbar agrees with the algebra, annealers
+never report impossible energies, conversions are lossless, and cost books
+are internally consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import DirectECimAnnealer, HardwareConfig, InSituCimAnnealer
+from repro.circuits import DgFefetCrossbar
+from repro.core import solve_ising
+from repro.devices import VBG_MAX
+from repro.ising import IsingModel, MaxCutProblem
+
+relaxed = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000), bits=st.integers(2, 6))
+def test_crossbar_agrees_with_model_delta_energy(seed, bits):
+    """4 × (crossbar E_inc at f=1) equals the stored model's exact ΔE."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 20))
+    m = int(rng.integers(n, n * (n - 1) // 2 + 1))
+    problem = MaxCutProblem.random(n, m, weighted=bool(rng.integers(2)), seed=rng)
+    xb = DgFefetCrossbar(problem.to_ising().J, bits=bits, seed=0)
+    model_hat = IsingModel(xb.matrix_hat)
+    sigma = model_hat.random_configuration(rng)
+    k = int(rng.integers(1, n))
+    flips = rng.choice(n, size=k, replace=False)
+    sigma_c = np.zeros(n)
+    sigma_c[flips] = -sigma[flips]
+    sigma_r = sigma.astype(np.float64).copy()
+    sigma_r[flips] = 0.0
+    sensed, _ = xb.compute_increment(sigma_r, sigma_c, VBG_MAX)
+    exact = model_hat.delta_energy_flips(sigma, flips)
+    assert 4.0 * sensed == pytest.approx(exact, abs=1e-9)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000), method=st.sampled_from(["insitu", "sa", "mesa"]))
+def test_annealers_never_report_impossible_energies(seed, method):
+    """best_energy matches its configuration and bounds the final energy."""
+    model = IsingModel.random(10, with_fields=True, seed=seed)
+    result = solve_ising(model, method=method, iterations=200, seed=seed)
+    assert result.best_energy == pytest.approx(model.energy(result.best_sigma), abs=1e-6)
+    assert result.energy == pytest.approx(model.energy(result.sigma), abs=1e-6)
+    assert result.best_energy <= result.energy + 1e-9
+    assert result.accepted <= result.iterations
+    assert result.uphill_accepted <= result.accepted
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_annealer_beats_random_sampling(seed):
+    """200 annealing iterations beat the best of 20 random configurations
+    on average-sized instances (sanity: the solver actually optimises)."""
+    rng = np.random.default_rng(seed)
+    problem = MaxCutProblem.random(30, 120, seed=rng)
+    model = problem.to_ising()
+    result = solve_ising(model, method="insitu", iterations=400, seed=seed)
+    random_best = min(
+        model.energy(model.random_configuration(rng)) for _ in range(20)
+    )
+    assert result.best_energy <= random_best + 1e-9
+
+
+@relaxed
+@given(seed=st.integers(0, 5_000))
+def test_machine_ledgers_are_consistent(seed):
+    """Ledger totals equal the component sums; counts match iterations."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(12, 40))
+    m = int(rng.integers(n, 3 * n))
+    problem = MaxCutProblem.random(n, m, seed=rng)
+    model = problem.to_ising()
+    iters = int(rng.integers(20, 120))
+    machine = InSituCimAnnealer(model, seed=seed)
+    result = machine.run(iters)
+    breakdown = result.ledger.energy_breakdown()
+    assert sum(breakdown.values()) == pytest.approx(result.energy, rel=1e-9)
+    assert result.ledger.entries["logic"].count == iters
+    assert result.annealing_energy >= 0
+    # ADC conversions: 2 phases × k per iteration on a positive matrix
+    assert result.ledger.entries["adc"].count == iters * 2 * machine.config.quantization_bits
+
+
+@relaxed
+@given(seed=st.integers(0, 5_000))
+def test_baseline_always_costs_more(seed):
+    """For any instance and budget, direct-E costs more energy and time."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(16, 64))
+    m = int(rng.integers(n, 3 * n))
+    problem = MaxCutProblem.random(n, m, seed=rng)
+    model = problem.to_ising()
+    iters = int(rng.integers(30, 100))
+    ours = InSituCimAnnealer(model, seed=seed).run(iters)
+    base = DirectECimAnnealer(model, HardwareConfig.baseline_asic(), seed=seed).run(iters)
+    assert base.annealing_energy > ours.annealing_energy
+    assert base.annealing_time > ours.annealing_time
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+def test_incremental_term_count_always_below_direct(seed, k):
+    """(n−|F|)·|F| < n² for every valid configuration (the O(n) claim)."""
+    from repro.core import num_product_terms
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(max(2, k), 5000))
+    direct, inc = num_product_terms(n, min(k, n))
+    assert inc < direct
+
+
+@relaxed
+@given(
+    seed=st.integers(0, 10_000),
+    v_bg=st.floats(0.0, VBG_MAX),
+)
+def test_factor_scaling_never_flips_sign(seed, v_bg):
+    """E_inc has the sign of σ_rᵀJσ_c for every back-gate voltage."""
+    rng = np.random.default_rng(seed)
+    problem = MaxCutProblem.random(12, 30, seed=rng)
+    xb = DgFefetCrossbar(problem.to_ising().J, seed=0)
+    sigma = problem.to_ising().random_configuration(rng).astype(np.float64)
+    i = int(rng.integers(12))
+    sigma_c = np.zeros(12)
+    sigma_c[i] = -sigma[i]
+    sigma_r = sigma.copy()
+    sigma_r[i] = 0.0
+    at_max, _ = xb.compute_increment(sigma_r, sigma_c, VBG_MAX)
+    at_vbg, _ = xb.compute_increment(sigma_r, sigma_c, float(v_bg))
+    assert at_max * at_vbg >= -1e-15
+    assert abs(at_vbg) <= abs(at_max) + 1e-12

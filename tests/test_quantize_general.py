@@ -1,0 +1,58 @@
+"""Tests for non-symmetric quantization and the tile crossbar mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import DgFefetCrossbar, MatrixQuantizer
+from repro.devices import VBG_MAX
+
+
+class TestQuantizeGeneral:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
+    def test_reconstruction_error_bound(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 10))
+        A = rng.uniform(-2, 2, (n, n))  # deliberately asymmetric
+        q = MatrixQuantizer(bits)
+        hat = q.quantize_general(A).dequantize()
+        assert np.max(np.abs(hat - A)) <= q.lsb_for(A) / 2 + 1e-12
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MatrixQuantizer(4).quantize_general(np.zeros((2, 3)))
+
+    def test_symmetric_path_still_validates(self):
+        A = np.array([[0.0, 1.0], [0.5, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            MatrixQuantizer(4).quantize(A)
+        # but the general path accepts it
+        MatrixQuantizer(4).quantize_general(A)
+
+
+class TestAsymmetricCrossbar:
+    def test_tile_mode_stores_asymmetric_blocks(self):
+        rng = np.random.default_rng(3)
+        block = rng.uniform(-1, 1, (12, 12))
+        xb = DgFefetCrossbar(block, require_symmetric=False, seed=0)
+        assert np.max(np.abs(xb.matrix_hat - block)) <= xb.quantized.lsb / 2 + 1e-12
+
+    def test_tile_mode_evaluates_products(self):
+        rng = np.random.default_rng(4)
+        block = rng.uniform(-1, 1, (10, 10))
+        xb = DgFefetCrossbar(block, require_symmetric=False, seed=0)
+        r = rng.choice([-1.0, 0.0, 1.0], 10)
+        c = np.zeros(10)
+        c[3] = 1.0
+        value, _ = xb.compute_increment(r, c, VBG_MAX)
+        exact = float(r @ xb.matrix_hat @ c)
+        assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_symmetric_default_rejects_asymmetric(self):
+        block = np.array([[0.0, 1.0], [0.5, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            DgFefetCrossbar(block, seed=0)

@@ -1,0 +1,97 @@
+"""Tests for the QUBO model and the exact Ising ⇄ QUBO conversions."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ising import IsingModel, QuboModel
+
+
+def random_qubo(seed, n=None):
+    rng = np.random.default_rng(seed)
+    n = n or int(rng.integers(2, 9))
+    Q = rng.uniform(-2, 2, (n, n))
+    Q = (Q + Q.T) / 2
+    np.fill_diagonal(Q, 0.0)
+    q = rng.uniform(-2, 2, n)
+    return QuboModel(Q, q, offset=float(rng.uniform(-3, 3)))
+
+
+class TestConstruction:
+    def test_diagonal_absorbed_into_linear(self):
+        Q = np.array([[2.0, 1.0], [1.0, -3.0]])
+        m = QuboModel(Q, np.array([0.5, 0.5]))
+        assert np.all(np.diag(m.Q) == 0)
+        assert m.q == pytest.approx([2.5, -2.5])
+        # objective values unchanged versus naive evaluation
+        for x in itertools.product((0, 1), repeat=2):
+            arr = np.array(x, dtype=float)
+            naive = arr @ Q @ arr + np.array([0.5, 0.5]) @ arr
+            assert m.value(list(x)) == pytest.approx(naive)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            QuboModel(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_value_validates_binary(self):
+        m = random_qubo(1)
+        with pytest.raises(ValueError, match="0/1"):
+            m.value(np.full(m.num_variables, 0.5))
+
+    def test_value_validates_shape(self):
+        m = random_qubo(1)
+        with pytest.raises(ValueError):
+            m.value(np.zeros(m.num_variables + 1))
+
+
+class TestConversions:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_to_ising_preserves_objective(self, seed):
+        qubo = random_qubo(seed)
+        ising = qubo.to_ising()
+        n = qubo.num_variables
+        for bits in itertools.product((0, 1), repeat=n):
+            x = np.array(bits, dtype=np.int8)
+            sigma = QuboModel.x_to_sigma(x)
+            assert ising.energy(sigma) == pytest.approx(qubo.value(x), abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_round_trip_preserves_objective(self, seed):
+        qubo = random_qubo(seed)
+        back = QuboModel.from_ising(qubo.to_ising())
+        n = qubo.num_variables
+        for bits in itertools.product((0, 1), repeat=n):
+            x = np.array(bits, dtype=np.int8)
+            assert back.value(x) == pytest.approx(qubo.value(x), abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_from_ising_preserves_objective(self, seed):
+        model = IsingModel.random(6, with_fields=True, seed=seed)
+        qubo = QuboModel.from_ising(model)
+        for bits in itertools.product((0, 1), repeat=6):
+            x = np.array(bits, dtype=np.int8)
+            sigma = QuboModel.x_to_sigma(x)
+            assert qubo.value(x) == pytest.approx(model.energy(sigma), abs=1e-9)
+
+    def test_variable_maps_are_inverse(self):
+        x = np.array([0, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(QuboModel.sigma_to_x(QuboModel.x_to_sigma(x)), x)
+        sigma = np.array([1, -1, 1], dtype=np.int8)
+        assert np.array_equal(QuboModel.x_to_sigma(QuboModel.sigma_to_x(sigma)), sigma)
+
+    def test_ising_diagonal_handled_as_constant(self):
+        J = np.array([[1.5, 0.5], [0.5, -1.0]])
+        model = IsingModel(J)
+        qubo = QuboModel.from_ising(model)
+        for bits in itertools.product((0, 1), repeat=2):
+            x = np.array(bits, dtype=np.int8)
+            sigma = QuboModel.x_to_sigma(x)
+            assert qubo.value(x) == pytest.approx(model.energy(sigma), abs=1e-9)

@@ -1,0 +1,86 @@
+"""Tests for the result containers (AnnealResult, MaxCutResult, CimRunResult)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import Ledger
+from repro.arch.result import CimRunResult
+from repro.core import AnnealResult, MaxCutResult
+
+
+def make_anneal(**overrides):
+    defaults = dict(
+        solver="test",
+        sigma=np.array([1, -1], dtype=np.int8),
+        energy=2.0,
+        best_sigma=np.array([1, 1], dtype=np.int8),
+        best_energy=1.0,
+        iterations=100,
+        accepted=40,
+        uphill_accepted=10,
+        uphill_proposals=30,
+    )
+    defaults.update(overrides)
+    return AnnealResult(**defaults)
+
+
+class TestAnnealResult:
+    def test_acceptance_rate(self):
+        assert make_anneal().acceptance_rate == pytest.approx(0.4)
+        assert make_anneal(iterations=0).acceptance_rate == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        text = make_anneal().summary()
+        assert "test" in text
+        assert "100 iterations" in text
+
+
+class TestMaxCutResult:
+    def test_normalized_and_success(self):
+        res = MaxCutResult(make_anneal(), cut=80.0, best_cut=92.0, reference_cut=100.0)
+        assert res.normalized_cut == pytest.approx(0.92)
+        assert res.is_success() is True
+        assert res.is_success(threshold=0.95) is False
+
+    def test_without_reference(self):
+        res = MaxCutResult(make_anneal(), cut=80.0, best_cut=92.0)
+        assert res.normalized_cut is None
+        assert res.is_success() is None
+        assert "92" in res.summary()
+
+
+class TestCimRunResult:
+    def make(self):
+        ledger = Ledger()
+        ledger.add("adc", energy=4e-12, time=50e-9, count=8)
+        ledger.add("program", energy=1e-11, time=0.0, count=100)
+        ledger.add("logic", energy=2e-12, time=1e-9)
+        return CimRunResult(label="machine", anneal=make_anneal(), ledger=ledger)
+
+    def test_totals(self):
+        res = self.make()
+        assert res.energy == pytest.approx(1.6e-11)
+        assert res.time == pytest.approx(51e-9)
+
+    def test_programming_split(self):
+        res = self.make()
+        assert res.programming_energy == pytest.approx(1e-11)
+        assert res.annealing_energy == pytest.approx(6e-12)
+        assert res.annealing_time == res.time
+
+    def test_per_iteration(self):
+        res = self.make()
+        assert res.energy_per_iteration == pytest.approx(1.6e-11 / 100)
+        assert res.time_per_iteration == pytest.approx(51e-9 / 100)
+
+    def test_no_program_entry(self):
+        ledger = Ledger()
+        ledger.add("adc", energy=1e-12)
+        res = CimRunResult(label="m", anneal=make_anneal(), ledger=ledger)
+        assert res.programming_energy == 0.0
+        assert res.annealing_energy == res.energy
+
+    def test_summary(self):
+        assert "machine" in self.make().summary()

@@ -1,0 +1,49 @@
+"""Tests for the scaling study utilities and remaining report paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scaling import ScalingPoint, fitted_exponent, measure_scaling
+
+
+class TestScalingPoint:
+    def make(self, n=100):
+        return ScalingPoint(
+            nodes=n,
+            edges=n * 6,
+            insitu_energy_per_iter=4e-12,
+            fpga_energy_per_iter=2e-9,
+            asic_energy_per_iter=4e-10,
+            insitu_time_per_iter=5e-8,
+            baseline_time_per_iter=4e-7,
+        )
+
+    def test_reductions(self):
+        p = self.make()
+        assert p.energy_reduction_fpga == pytest.approx(500.0)
+        assert p.energy_reduction_asic == pytest.approx(100.0)
+        assert p.time_reduction == pytest.approx(8.0)
+
+
+class TestMeasureScaling:
+    def test_small_sweep(self):
+        points = measure_scaling(sizes=(50, 100), iterations=40, seed=1)
+        assert [p.nodes for p in points] == [50, 100]
+        # baseline cost roughly doubles with n; ours stays put
+        assert points[1].asic_energy_per_iter == pytest.approx(
+            2 * points[0].asic_energy_per_iter, rel=0.25
+        )
+        assert points[1].insitu_energy_per_iter == pytest.approx(
+            points[0].insitu_energy_per_iter, rel=0.25
+        )
+
+    def test_fitted_exponent(self):
+        points = measure_scaling(sizes=(50, 100, 200), iterations=40, seed=1)
+        assert 0.7 < fitted_exponent(points, "asic_energy_per_iter") < 1.3
+        assert fitted_exponent(points, "insitu_energy_per_iter") < 0.3
+
+    def test_fitted_exponent_validation(self):
+        points = measure_scaling(sizes=(50,), iterations=20, seed=1)
+        with pytest.raises(ValueError):
+            fitted_exponent(points, "asic_energy_per_iter")

@@ -1,0 +1,110 @@
+"""Tests for temperature / back-gate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantSchedule,
+    FractionalFactor,
+    GeometricSchedule,
+    LinearSchedule,
+    ReverseVbgSchedule,
+    VbgStepSchedule,
+)
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        s = GeometricSchedule(100, 10.0, 0.1)
+        assert s.temperature(0) == pytest.approx(10.0)
+        assert s.temperature(99) == pytest.approx(0.1, rel=1e-6)
+
+    def test_monotone_decreasing(self):
+        s = GeometricSchedule(50, 5.0, 0.5)
+        profile = s.profile()
+        assert np.all(np.diff(profile) <= 0)
+
+    def test_clipped_at_t_end(self):
+        s = GeometricSchedule(100, 10.0, 1.0, alpha=0.5)
+        assert s.temperature(99) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(10, 1.0, 2.0)  # t_end > t_start
+        with pytest.raises(ValueError):
+            GeometricSchedule(10, 1.0, 0.1, alpha=1.5)
+        with pytest.raises(IndexError):
+            GeometricSchedule(10, 1.0, 0.1).temperature(10)
+
+
+class TestLinearConstant:
+    def test_linear_ramp(self):
+        s = LinearSchedule(11, 10.0, 0.0)
+        assert s.temperature(0) == 10.0
+        assert s.temperature(10) == 0.0
+        assert s.temperature(5) == pytest.approx(5.0)
+
+    def test_constant(self):
+        s = ConstantSchedule(5, 3.0)
+        assert all(s.temperature(i) == 3.0 for i in range(5))
+
+    def test_single_iteration_linear(self):
+        assert LinearSchedule(1, 2.0).temperature(0) == 2.0
+
+
+class TestVbgStepSchedule:
+    def test_walks_down_the_grid(self):
+        s = VbgStepSchedule(710, hold=10)
+        profile = s.vbg_profile()
+        assert profile[0] == pytest.approx(0.7)
+        assert profile[-1] == pytest.approx(0.0)
+        assert np.all(np.diff(profile) <= 1e-12)
+        # levels change every `hold` iterations by one 10 mV step
+        assert profile[9] == pytest.approx(0.7)
+        assert profile[10] == pytest.approx(0.69)
+
+    def test_holds_at_zero_after_bottom(self):
+        """'Once V_BG reaches 0 V, it remains at zero' (Sec. 3.4)."""
+        s = VbgStepSchedule(1000, hold=5)
+        profile = s.vbg_profile()
+        assert np.all(profile[71 * 5 :] == 0.0)
+
+    def test_default_hold_spreads_walk(self):
+        s = VbgStepSchedule(710)
+        assert s.hold == 10
+        assert s.vbg_profile()[-1] == pytest.approx(0.0)
+
+    def test_temperature_consistent_with_factor_map(self):
+        f = FractionalFactor()
+        s = VbgStepSchedule(100, factor=f)
+        for it in (0, 50, 99):
+            expected = float(f.temperature_for_vbg(s.vbg(it)))
+            assert s.temperature(it) == pytest.approx(expected)
+
+    def test_dac_updates_counts_level_changes(self):
+        s = VbgStepSchedule(710, hold=10)
+        assert s.dac_updates() == 71  # 70 steps + initial set
+
+    def test_short_run_truncates_walk(self):
+        s = VbgStepSchedule(30, hold=10)
+        profile = s.vbg_profile()
+        assert profile[-1] == pytest.approx(0.7 - 0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VbgStepSchedule(10, v_start=0.1, v_end=0.5)
+        with pytest.raises(ValueError):
+            VbgStepSchedule(10, hold=0)
+        with pytest.raises(IndexError):
+            VbgStepSchedule(10).vbg(10)
+
+
+class TestReverseVbgSchedule:
+    def test_walks_up(self):
+        s = ReverseVbgSchedule(710, hold=10)
+        profile = s.vbg_profile()
+        assert profile[0] == pytest.approx(0.0)
+        assert profile[-1] == pytest.approx(0.7)
+        assert np.all(np.diff(profile) >= -1e-12)

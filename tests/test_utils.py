@@ -1,0 +1,131 @@
+"""Tests for the shared utilities (rng, units, validation, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GIGA,
+    MICRO,
+    NANO,
+    PICO,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_spin_vector,
+    check_square_symmetric,
+    ensure_rng,
+    format_energy,
+    format_time,
+    from_si,
+    spawn_rng,
+    to_si,
+)
+from repro.utils.tables import render_series, render_table
+
+
+class TestRng:
+    def test_accepts_none_int_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+        assert isinstance(ensure_rng(5), np.random.Generator)
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(7).integers(1000) == ensure_rng(7).integers(1000)
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_produces_independent_children(self):
+        children = spawn_rng(ensure_rng(3), 4)
+        assert len(children) == 4
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestUnits:
+    def test_round_trip(self):
+        assert from_si(to_si(0.25, PICO), PICO) == pytest.approx(0.25)
+        assert to_si(25, NANO) == pytest.approx(2.5e-8)
+
+    def test_format_energy(self):
+        assert format_energy(2.5e-9) == "2.5 nJ"
+        assert format_energy(0.0) == "0 J"
+        assert format_energy(3.1e-6) == "3.1 µJ"
+
+    def test_format_time(self):
+        assert format_time(4.6e-3) == "4.6 ms"
+        assert format_time(25e-9) == "25 ns"
+        assert format_time(2.0 * GIGA) == "2 Gs"
+
+    def test_format_small(self):
+        assert format_energy(5e-16).endswith("fJ")
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, allow_zero=True)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("v", 0.3, 0.0, 0.7) == 0.3
+        with pytest.raises(ValueError):
+            check_in_range("v", 0.8, 0.0, 0.7)
+
+    def test_check_spin_vector(self):
+        arr = check_spin_vector([1, -1, 1])
+        assert arr.dtype == np.int8
+        with pytest.raises(ValueError):
+            check_spin_vector([[1, -1]])
+        with pytest.raises(ValueError):
+            check_spin_vector([1, 0, -1])
+        with pytest.raises(ValueError):
+            check_spin_vector([1, -1], n=3)
+
+    def test_check_square_symmetric(self):
+        J = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert check_square_symmetric(J).dtype == np.float64
+        with pytest.raises(ValueError):
+            check_square_symmetric(np.array([[0.0, 1.0], [0.9, 0.0]]))
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.34567], ["xyz", 5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "2.346" in out
+
+    def test_render_table_title(self):
+        out = render_table(["a"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_render_table_validates_width(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        out = render_series("x", [1, 2], {"y": [10, 20], "z": [3, 4]})
+        assert "x" in out and "y" in out and "z" in out
+        assert "20" in out
+
+    def test_render_series_validates_lengths(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"y": [1]})
