@@ -25,6 +25,7 @@ from repro.circuits.quantize import MatrixQuantizer
 from repro.core.sa import DirectEAnnealer
 from repro.core.schedule import Schedule
 from repro.ising.model import IsingModel
+from repro.ising.sparse import dense_couplings
 from repro.utils.rng import ensure_rng
 
 
@@ -67,13 +68,15 @@ class DirectECimAnnealer:
         if self.config.exponent is None:
             raise ValueError("direct-E baselines need an exponent unit")
         rng = ensure_rng(seed)
+        # As for the proposed machine: the crossbar needs the dense matrix.
+        J = dense_couplings(model)
         quantizer = MatrixQuantizer(self.config.quantization_bits)
-        self.quantized = quantizer.quantize(model.J)
+        self.quantized = quantizer.quantize(J)
         self.hw_model = IsingModel(
             self.quantized.dequantize(), None, offset=model.offset, name=model.name
         )
         self.mapping = CrossbarMapping.for_matrix(
-            model.J, self.config.quantization_bits, self.config.adc.mux_ratio
+            J, self.config.quantization_bits, self.config.adc.mux_ratio
         )
         self.flips_per_iteration = int(flips_per_iteration)
         self.record_cost_trace = bool(record_cost_trace)

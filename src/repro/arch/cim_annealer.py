@@ -32,6 +32,7 @@ from repro.core.factors import FractionalFactor, VbgEncoder
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.devices.variability import VariationModel
 from repro.ising.model import IsingModel
+from repro.ising.sparse import dense_couplings
 from repro.utils.rng import ensure_rng
 
 
@@ -92,11 +93,14 @@ class InSituCimAnnealer:
         self.config = config or HardwareConfig.proposed()
         self.factor = factor or FractionalFactor()
         rng = ensure_rng(seed)
+        # The crossbar physically programs every cell, so the machine layer
+        # densifies sparse models here (solver-only paths never do).
+        J = dense_couplings(model)
         if tile_size is not None:
             from repro.arch.tiling import TiledCrossbar
 
             self.crossbar = TiledCrossbar(
-                model.J,
+                J,
                 tile_size=tile_size,
                 bits=self.config.quantization_bits,
                 backend=backend,
@@ -107,7 +111,7 @@ class InSituCimAnnealer:
             )
         else:
             self.crossbar = DgFefetCrossbar(
-                model.J,
+                J,
                 bits=self.config.quantization_bits,
                 backend=backend,
                 adc=None,  # sized to the array by the crossbar itself
@@ -117,7 +121,7 @@ class InSituCimAnnealer:
                 seed=rng,
             )
         self.mapping = CrossbarMapping.for_matrix(
-            model.J, self.config.quantization_bits, self.config.adc.mux_ratio
+            J, self.config.quantization_bits, self.config.adc.mux_ratio
         )
         # The algorithmic model the controller believes in: the *stored*
         # image, so software bookkeeping matches the programmed array.

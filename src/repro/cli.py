@@ -48,6 +48,7 @@ def _cmd_solve(args) -> int:
         iterations=args.iterations,
         seed=args.seed,
         reference_cut=reference,
+        backend=args.backend,
         flips_per_iteration=args.flips,
     )
     print(result.summary())
@@ -163,6 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="solve a Gset-format instance")
     solve.add_argument("instance", help="path to a Gset file")
     solve.add_argument("--method", choices=("insitu", "sa", "mesa"), default="insitu")
+    solve.add_argument("--backend", choices=("auto", "dense", "sparse"), default="auto",
+                       help="coupling backend (auto = density heuristic)")
     solve.add_argument("--iterations", type=int, default=10_000)
     solve.add_argument("--flips", type=int, default=1)
     solve.add_argument("--seed", type=int, default=0)
@@ -189,10 +192,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Validation errors from the solve API (bad iteration counts, unknown
+    methods/backends, malformed instances) surface as a one-line message
+    and exit code 2 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 * :mod:`repro.core.factors` — fractional factor ``f(T)``, Metropolis
   exponential factor, fitting, and the temperature→V_BG encoder;
 * :mod:`repro.core.schedule` — back-gate and conventional schedules;
+* :mod:`repro.core.coupling` — backend-agnostic coupling ops (dense/CSR);
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
 * :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
 * :mod:`repro.core.solver` — one-call high-level API.
@@ -14,6 +15,12 @@ from repro.core.batch import (
     BatchAnnealResult,
     BatchDirectEAnnealer,
     BatchInSituAnnealer,
+)
+from repro.core.coupling import (
+    DenseCouplingOps,
+    SparseCouplingOps,
+    auto_acceptance_scale,
+    coupling_ops,
 )
 from repro.core.factors import (
     ExponentialFactor,
@@ -63,6 +70,10 @@ __all__ = [
     "VbgStepSchedule",
     "ReverseVbgSchedule",
     "estimate_temperature_range",
+    "coupling_ops",
+    "auto_acceptance_scale",
+    "DenseCouplingOps",
+    "SparseCouplingOps",
     "flip_mask",
     "apply_flips",
     "decompose",

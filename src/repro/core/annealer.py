@@ -27,28 +27,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.coupling import auto_acceptance_scale, coupling_ops
 from repro.core.factors import FractionalFactor, VbgEncoder
 from repro.core.proposal import FlipSelector
 from repro.core.results import AnnealResult
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.ising.model import IsingModel
+from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_spin_vector
-
-
-def _auto_scale(J: np.ndarray) -> float:
-    """Read-out gain making the typical coupling magnitude ~O(1).
-
-    Chosen so a minimal uphill move stays rejected until the factor has
-    decayed well below 0.1 — the greedy-first regime that gives the
-    fractional flow its fast convergence at tight iteration budgets (the
-    gain ablation bench sweeps this).
-    """
-    off = np.abs(J[~np.eye(J.shape[0], dtype=bool)])
-    nonzero = off[off > 0]
-    if nonzero.size == 0:
-        return 1.0
-    return 15.0 / float(np.median(nonzero))
 
 
 class InSituAnnealer:
@@ -58,7 +45,10 @@ class InSituAnnealer:
     ----------
     model:
         The Ising model to minimise (fields are folded in exactly through
-        the ``2hᵀσ_c`` term).
+        the ``2hᵀσ_c`` term).  Either backend works — a dense
+        :class:`~repro.ising.model.IsingModel` or a
+        :class:`~repro.ising.sparse.SparseIsingModel`; trajectories
+        coincide across backends for a fixed seed.
     flips_per_iteration:
         ``t = |F|``, the constant flip-set size (paper keeps it constant so
         the VMV stays O(n)).
@@ -96,7 +86,7 @@ class InSituAnnealer:
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | SparseIsingModel,
         flips_per_iteration: int = 1,
         factor: FractionalFactor | None = None,
         schedule: Schedule | None = None,
@@ -111,6 +101,7 @@ class InSituAnnealer:
     ) -> None:
         self.model = model
         self.n = model.num_spins
+        self._ops = coupling_ops(model)
         t = int(flips_per_iteration)
         if not 1 <= t <= self.n:
             raise ValueError(f"flips_per_iteration must be in [1, {self.n}]")
@@ -119,7 +110,7 @@ class InSituAnnealer:
         self.schedule = schedule
         self.encoder = encoder
         if acceptance_scale == "auto":
-            self.acceptance_scale = _auto_scale(model.J)
+            self.acceptance_scale = auto_acceptance_scale(model)
         else:
             self.acceptance_scale = float(acceptance_scale)
             if self.acceptance_scale <= 0:
@@ -162,7 +153,7 @@ class InSituAnnealer:
             raise ValueError("iterations must be >= 1")
         schedule = self._build_schedule(iterations)
         rng = self._rng
-        J = self.model.J
+        ops = self._ops
         h = self.model.h
         t = self.flips_per_iteration
 
@@ -170,7 +161,7 @@ class InSituAnnealer:
             sigma = self.model.random_configuration(rng).astype(np.float64)
         else:
             sigma = check_spin_vector(initial, self.n).astype(np.float64)
-        g = J @ sigma
+        g = ops.local_fields(sigma)
         energy = float(sigma @ g + h @ sigma) + self.model.offset
         best_energy = energy
         best_sigma = sigma.copy()
@@ -192,12 +183,7 @@ class InSituAnnealer:
             # σ_rᵀ J σ_c through the cached local fields: for each flipped
             # column j, subtract the contribution of other flipped rows.
             sig_f = sigma[flips]
-            if t == 1:
-                j0 = int(flips[0])
-                cross = -sig_f[0] * (g[j0] - J[j0, j0] * sig_f[0])
-            else:
-                sub = J[np.ix_(flips, flips)] @ sig_f
-                cross = float(-(sig_f * (g[flips] - sub)).sum())
+            cross = ops.cross_term(g, flips, sig_f)
             field_term = float(-(h[flips] * sig_f).sum()) if has_fields else 0.0
             delta_e = 4.0 * cross + 2.0 * field_term
 
@@ -232,7 +218,7 @@ class InSituAnnealer:
                 if delta_e > 0:
                     uphill_accepted += 1
                 # Rank-t update of state, fields and running energy.
-                g -= 2.0 * (J[:, flips] @ sig_f)
+                ops.update_fields(g, flips, sig_f)
                 sigma[flips] = -sig_f
                 energy += delta_e
                 if self.track_best and energy < best_energy:

@@ -21,10 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.annealer import _auto_scale
+from repro.core.coupling import auto_acceptance_scale, coupling_ops
 from repro.core.factors import FractionalFactor, VbgEncoder
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.ising.model import IsingModel
+from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
 
 
@@ -97,10 +98,10 @@ class _BatchEngine:
         if schedule.iterations != iterations:
             raise ValueError("schedule length does not match iterations")
         rng = self._rng
-        J = self.model.J
+        ops = coupling_ops(self.model)
         h = self.model.h
         has_fields = self.model.has_fields
-        J_diag = np.diag(J).copy()
+        J_diag = ops.diag()
         R, n = self.replicas, self.n
 
         if initial is None:
@@ -113,7 +114,7 @@ class _BatchEngine:
                 sigma = base.copy()
             else:
                 raise ValueError(f"initial must have shape ({n},) or ({R}, {n})")
-        g = sigma @ J  # (R, n); J symmetric so row-major product works
+        g = ops.batch_local_fields(sigma)  # (R, n)
         energy = np.einsum("rn,rn->r", sigma, g) + sigma @ h + self.model.offset
         best_energy = energy.copy()
         best_sigma = sigma.copy()
@@ -133,7 +134,7 @@ class _BatchEngine:
             if accept.any():
                 acc = np.flatnonzero(accept)
                 cols = idx[acc]
-                g[acc] -= 2.0 * (J[:, cols].T * sig_f[acc][:, None])
+                ops.batch_update_fields(g, acc, cols, sig_f[acc])
                 sigma[acc, cols] = -sig_f[acc]
                 energy[acc] += delta_e[acc]
                 accepted[acc] += 1
@@ -158,7 +159,7 @@ class BatchInSituAnnealer(_BatchEngine):
     Parameters
     ----------
     model:
-        The Ising model (fields supported).
+        The Ising model (fields supported; dense or sparse backend).
     replicas:
         Number of independent replicas ``R``.
     factor / schedule / encoder / acceptance_scale / proposal / seed:
@@ -167,7 +168,7 @@ class BatchInSituAnnealer(_BatchEngine):
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | SparseIsingModel,
         replicas: int,
         factor: FractionalFactor | None = None,
         schedule: Schedule | None = None,
@@ -187,7 +188,7 @@ class BatchInSituAnnealer(_BatchEngine):
         self.schedule = schedule
         self.encoder = encoder
         if acceptance_scale == "auto":
-            self.acceptance_scale = _auto_scale(model.J)
+            self.acceptance_scale = auto_acceptance_scale(model)
         else:
             self.acceptance_scale = float(acceptance_scale)
             if self.acceptance_scale <= 0:
@@ -219,7 +220,7 @@ class BatchDirectEAnnealer(_BatchEngine):
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | SparseIsingModel,
         replicas: int,
         schedule: Schedule | None = None,
         proposal: str = "random",

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ising.model import IsingModel
 from repro.utils.validation import check_spin_vector
 
 
@@ -85,11 +84,19 @@ def cross_term(J: np.ndarray, sigma_r: np.ndarray, sigma_c: np.ndarray) -> float
     return float(sigma_r @ partial)
 
 
-def delta_energy(model: IsingModel, sigma, flip_indices) -> float:
-    """ΔE via the incremental identity (including any field term)."""
+def delta_energy(model, sigma, flip_indices) -> float:
+    """ΔE via the incremental identity (including any field term).
+
+    Works for both coupling backends: dense models go through the explicit
+    ``σ_r``/``σ_c`` decomposition and :func:`cross_term`; sparse models
+    delegate to their own O(Σ degree) ``delta_energy_flips``.
+    """
     s = check_spin_vector(sigma, model.num_spins)
+    J = getattr(model, "J", None)
+    if J is None:
+        return float(model.delta_energy_flips(s, flip_indices))
     _, sigma_r, sigma_c = incremental_vectors(s, flip_indices)
-    value = cross_term(model.J, sigma_r, sigma_c)
+    value = cross_term(J, sigma_r, sigma_c)
     return 4.0 * value + 2.0 * float(model.h @ sigma_c)
 
 

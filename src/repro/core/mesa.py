@@ -18,6 +18,7 @@ from repro.core.results import AnnealResult
 from repro.core.sa import DirectEAnnealer, estimate_temperature_range
 from repro.core.schedule import GeometricSchedule
 from repro.ising.model import IsingModel
+from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
 
 
@@ -27,7 +28,9 @@ class MesaAnnealer:
     Parameters
     ----------
     model:
-        The Ising model to minimise.
+        The Ising model to minimise (dense or sparse backend — the inner
+        SA passes inherit backend transparency from
+        :class:`DirectEAnnealer`).
     epochs:
         Number of cooling passes.
     epoch_decay:
@@ -40,7 +43,7 @@ class MesaAnnealer:
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | SparseIsingModel,
         epochs: int = 4,
         epoch_decay: float = 0.5,
         flips_per_iteration: int = 1,

@@ -17,16 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.coupling import coupling_ops
 from repro.core.proposal import FlipSelector
 from repro.core.results import AnnealResult
 from repro.core.schedule import GeometricSchedule, Schedule
 from repro.ising.model import IsingModel
+from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_spin_vector
 
 
 def estimate_temperature_range(
-    model: IsingModel,
+    model: IsingModel | SparseIsingModel,
     samples: int = 200,
     p_start: float = 0.8,
     p_end: float = 0.002,
@@ -60,7 +62,9 @@ class DirectEAnnealer:
     Parameters
     ----------
     model:
-        The Ising model to minimise.
+        The Ising model to minimise — dense
+        :class:`~repro.ising.model.IsingModel` or
+        :class:`~repro.ising.sparse.SparseIsingModel` backend.
     flips_per_iteration:
         Spins flipped per proposal (baselines use 1, the classic move).
     schedule:
@@ -79,7 +83,7 @@ class DirectEAnnealer:
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | SparseIsingModel,
         flips_per_iteration: int = 1,
         schedule: Schedule | None = None,
         proposal: str = "random",
@@ -90,6 +94,7 @@ class DirectEAnnealer:
     ) -> None:
         self.model = model
         self.n = model.num_spins
+        self._ops = coupling_ops(model)
         t = int(flips_per_iteration)
         if not 1 <= t <= self.n:
             raise ValueError(f"flips_per_iteration must be in [1, {self.n}]")
@@ -115,7 +120,7 @@ class DirectEAnnealer:
             raise ValueError("iterations must be >= 1")
         schedule = self._build_schedule(iterations)
         rng = self._rng
-        J = self.model.J
+        ops = self._ops
         h = self.model.h
         t = self.flips_per_iteration
         has_fields = self.model.has_fields
@@ -124,7 +129,7 @@ class DirectEAnnealer:
             sigma = self.model.random_configuration(rng).astype(np.float64)
         else:
             sigma = check_spin_vector(initial, self.n).astype(np.float64)
-        g = J @ sigma
+        g = ops.local_fields(sigma)
         energy = float(sigma @ g + h @ sigma) + self.model.offset
         best_energy = energy
         best_sigma = sigma.copy()
@@ -141,12 +146,7 @@ class DirectEAnnealer:
             temperature = schedule.temperature(it)
             flips = selector.next()
             sig_f = sigma[flips]
-            if t == 1:
-                j0 = int(flips[0])
-                cross = -sig_f[0] * (g[j0] - J[j0, j0] * sig_f[0])
-            else:
-                sub = J[np.ix_(flips, flips)] @ sig_f
-                cross = float(-(sig_f * (g[flips] - sub)).sum())
+            cross = ops.cross_term(g, flips, sig_f)
             field_term = float(-(h[flips] * sig_f).sum()) if has_fields else 0.0
             delta_e = 4.0 * cross + 2.0 * field_term
 
@@ -160,7 +160,7 @@ class DirectEAnnealer:
                 accepted += 1
                 if delta_e > 0:
                     uphill_accepted += 1
-                g -= 2.0 * (J[:, flips] @ sig_f)
+                ops.update_fields(g, flips, sig_f)
                 sigma[flips] = -sig_f
                 energy += delta_e
                 if self.track_best and energy < best_energy:

@@ -1,11 +1,34 @@
 """High-level solve API: one call from problem to solution.
 
 These wrappers pick reasonable defaults for the three solver families
-(in-situ fractional, direct-E SA, MESA), run them, and translate energies
-back into problem-domain quantities (cut values for Max-Cut).
+(in-situ fractional, direct-E SA, MESA), validate their inputs at the
+boundary (so misuse fails with an actionable message instead of deep inside
+an annealer loop), run them, and translate energies back into
+problem-domain quantities (cut values for Max-Cut).
+
+Coupling backends
+-----------------
+Every solver family accepts either coupling backend — the dense
+:class:`~repro.ising.model.IsingModel` or the CSR
+:class:`~repro.ising.sparse.SparseIsingModel` — transparently.  The
+``backend`` knob on :func:`solve_ising` / :func:`solve_maxcut` converts on
+the way in: ``"dense"`` / ``"sparse"`` force a representation, ``"auto"``
+applies the density-threshold heuristic of
+:func:`repro.ising.sparse.recommended_backend` (sparse from
+``SPARSE_MIN_SPINS`` spins up when the pair density is at most
+``SPARSE_DENSITY_THRESHOLD``).  For integer or dyadic-rational couplings —
+which includes every ±1-weighted G-set instance, where ``J = W/4`` — all
+floating-point sums are exact and fixed-seed trajectories coincide bit for
+bit across backends.  For arbitrary float couplings the backends compute
+the same mathematics in different summation orders, so individual
+accept decisions (and hence trajectories) may diverge; pass an explicit
+``backend`` when exact run-to-run reproducibility across releases matters
+for such models.
 """
 
 from __future__ import annotations
+
+import operator
 
 from repro.core.annealer import InSituAnnealer
 from repro.core.mesa import MesaAnnealer
@@ -13,6 +36,7 @@ from repro.core.results import AnnealResult, MaxCutResult
 from repro.core.sa import DirectEAnnealer
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.model import IsingModel
+from repro.ising.sparse import SparseIsingModel, as_backend
 
 _SOLVERS = {
     "insitu": InSituAnnealer,
@@ -21,11 +45,50 @@ _SOLVERS = {
 }
 
 
+def _check_solve_args(model, method: str, iterations) -> int:
+    """Boundary validation shared by the solve entry points.
+
+    Returns the validated iteration count.  Raises ``ValueError`` with an
+    actionable message for unknown methods, non-positive iteration budgets
+    and empty models — the failure modes that previously surfaced as
+    opaque errors deep inside the annealer loops.
+    """
+    if method not in _SOLVERS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(_SOLVERS)}"
+        )
+    if isinstance(iterations, float) and iterations.is_integer():
+        iterations = int(iterations)
+    try:
+        iterations = operator.index(iterations)
+    except TypeError:
+        raise ValueError(
+            f"iterations must be an integer, got {iterations!r}"
+        ) from None
+    if iterations < 1:
+        raise ValueError(
+            f"iterations must be >= 1, got {iterations}; the annealers need "
+            "at least one proposal/accept step"
+        )
+    num_spins = getattr(model, "num_spins", None)
+    if num_spins is None:
+        raise ValueError(
+            f"model must be an IsingModel or SparseIsingModel, got "
+            f"{type(model).__name__}"
+        )
+    if num_spins < 1:
+        raise ValueError(
+            "model has no spins; build it from a non-empty problem"
+        )
+    return iterations
+
+
 def solve_ising(
-    model: IsingModel,
+    model: IsingModel | SparseIsingModel,
     method: str = "insitu",
     iterations: int = 1000,
     seed=None,
+    backend: str | None = None,
     **solver_kwargs,
 ) -> AnnealResult:
     """Minimise an Ising model with the selected annealer.
@@ -33,21 +96,28 @@ def solve_ising(
     Parameters
     ----------
     model:
-        The model to minimise.
+        The model to minimise — either coupling backend.
     method:
         ``"insitu"`` (the paper's flow), ``"sa"`` (direct-E Metropolis
         baseline) or ``"mesa"`` (multi-epoch SA of ref [7]).
     iterations:
-        Annealing iterations.
+        Annealing iterations (must be >= 1; validated here so the error is
+        raised at the API boundary).
     seed:
         RNG seed.
+    backend:
+        Optional coupling-backend override: ``"dense"``, ``"sparse"`` or
+        ``"auto"`` (density heuristic).  ``None`` (default) keeps the
+        model's current representation.  Choose sparse for large
+        low-density instances; fixed-seed trajectories are backend-
+        independent for exactly-representable couplings (see module
+        docstring).
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``flips_per_iteration``).
     """
-    if method not in _SOLVERS:
-        raise ValueError(
-            f"unknown method {method!r}; choose from {sorted(_SOLVERS)}"
-        )
+    iterations = _check_solve_args(model, method, iterations)
+    if backend is not None:
+        model = as_backend(model, backend)
     solver = _SOLVERS[method](model, seed=seed, **solver_kwargs)
     return solver.run(iterations)
 
@@ -58,6 +128,7 @@ def solve_maxcut(
     iterations: int = 1000,
     seed=None,
     reference_cut: float | None = None,
+    backend: str = "auto",
     **solver_kwargs,
 ) -> MaxCutResult:
     """Solve a Max-Cut instance and report cut values.
@@ -65,8 +136,17 @@ def solve_maxcut(
     ``reference_cut`` (the best-known value, e.g. from
     :func:`repro.analysis.reference.reference_cut`) enables the normalised
     cut and the paper's ≥ 0.9 success criterion on the result object.
+
+    ``backend`` selects the coupling representation of the underlying
+    Ising model (see :meth:`MaxCutProblem.to_ising`); the default
+    ``"auto"`` builds large sparse instances — the whole G-set suite —
+    on the CSR backend.
     """
-    model = problem.to_ising()
+    if getattr(problem, "num_nodes", None) is None:
+        raise ValueError(
+            f"problem must be a MaxCutProblem, got {type(problem).__name__}"
+        )
+    model = problem.to_ising(backend=backend)
     result = solve_ising(
         model, method=method, iterations=iterations, seed=seed, **solver_kwargs
     )

@@ -13,6 +13,7 @@ from repro.ising.gset import (
     generate_random,
     generate_skew,
     generate_toroidal,
+    load_ising,
     paper_instance_suite,
     parse_gset,
     suite_by_size,
@@ -24,11 +25,26 @@ from repro.ising.mis import MaxIndependentSetProblem
 from repro.ising.model import IsingModel
 from repro.ising.partition import NumberPartitioningProblem
 from repro.ising.qubo import QuboModel
+from repro.ising.sparse import (
+    SPARSE_DENSITY_THRESHOLD,
+    SPARSE_MIN_SPINS,
+    SparseIsingModel,
+    as_backend,
+    dense_couplings,
+    recommended_backend,
+)
 from repro.ising.tsp import TravellingSalesmanProblem
 
 __all__ = [
     "IsingModel",
+    "SparseIsingModel",
     "QuboModel",
+    "as_backend",
+    "dense_couplings",
+    "recommended_backend",
+    "SPARSE_MIN_SPINS",
+    "SPARSE_DENSITY_THRESHOLD",
+    "load_ising",
     "MaxCutProblem",
     "GraphColoringProblem",
     "KnapsackProblem",

@@ -87,6 +87,19 @@ def parse_gset(source, name: str = "gset") -> MaxCutProblem:
     return MaxCutProblem(n, edges, weights, name=name)
 
 
+def load_ising(source, backend: str = "auto", name: str = "gset"):
+    """Parse a Gset instance and build its Ising model in one call.
+
+    Returns ``(problem, model)``.  ``backend`` is forwarded to
+    :meth:`MaxCutProblem.to_ising`; with the default ``"auto"`` every
+    G-set-scale instance (low pair density, hundreds to thousands of
+    nodes) comes out on the sparse CSR backend without ever materialising
+    the dense coupling matrix.
+    """
+    problem = parse_gset(source, name=name)
+    return problem, problem.to_ising(backend=backend)
+
+
 def write_gset(problem: MaxCutProblem, target=None) -> str:
     """Serialise a problem in Gset format; write to ``target`` if given.
 

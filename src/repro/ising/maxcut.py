@@ -21,6 +21,7 @@ import networkx as nx
 import numpy as np
 
 from repro.ising.model import IsingModel
+from repro.ising.sparse import BACKENDS, SparseIsingModel, recommended_backend
 from repro.utils.validation import check_spin_vector
 
 
@@ -158,14 +159,36 @@ class MaxCutProblem:
         """Convert a cut value to the Ising energy of :meth:`to_ising`."""
         return self.total_weight / 2.0 - cut
 
-    def to_ising(self) -> IsingModel:
+    def to_ising(self, backend: str = "auto") -> IsingModel | SparseIsingModel:
         """Exact Ising embedding with ``J = W/4`` and no field.
 
         Minimising the returned model's ``σᵀJσ`` maximises the cut;
         ``cut = W_tot/2 − σᵀJσ`` (the model's ``offset`` is left at zero so
         its raw energy matches the quadratic form; use
         :meth:`cut_from_energy` for the translation).
+
+        ``backend`` picks the coupling representation: ``"dense"`` builds
+        the ``(n, n)`` matrix, ``"sparse"`` a CSR
+        :class:`~repro.ising.sparse.SparseIsingModel` straight from the
+        edge list (never materialising the dense matrix), and ``"auto"``
+        (default) applies the density-threshold heuristic — all G-set-scale
+        instances come out sparse.  Both backends define the identical
+        Hamiltonian.
         """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            )
+        if backend == "auto":
+            backend = recommended_backend(self.num_nodes, self.num_edges)
+        if backend == "sparse":
+            return SparseIsingModel.from_edges(
+                self.num_nodes,
+                self._edges[:, 0],
+                self._edges[:, 1],
+                self._weights / 4.0,
+                name=self.name,
+            )
         return IsingModel(self.adjacency() / 4.0, None, name=self.name)
 
     def partition(self, sigma) -> tuple[np.ndarray, np.ndarray]:

@@ -17,6 +17,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ising.model import IsingModel
+from repro.ising.sparse import (
+    BACKENDS,
+    SparseIsingModel,
+    dense_couplings,
+    recommended_backend,
+)
 from repro.utils.validation import check_square_symmetric
 
 
@@ -91,29 +97,43 @@ class QuboModel:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
-    def to_ising(self) -> IsingModel:
+    def to_ising(self, backend: str = "auto") -> IsingModel | SparseIsingModel:
         """Exact conversion under ``x_i = (1 - σ_i)/2``.
 
         Derivation: substituting into ``xᵀQx + qᵀx`` gives
         ``σᵀ(Q/4)σ − σᵀ rowsum(Q)/2 − qᵀσ/2 + const`` (zero-diagonal ``Q``),
         so ``J = Q/4``, ``h = −(rowsum(Q) + q)/2`` and the constant is
         ``sum(Q)/4 + sum(q)/2``.
+
+        ``backend`` selects the coupling representation of the returned
+        model (``"dense"``, ``"sparse"``, or the ``"auto"`` density
+        heuristic on the nonzero pattern of ``Q``).
         """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            )
         J = self._Q / 4.0
         rowsum = self._Q.sum(axis=1)
         h = -(rowsum + self._q) / 2.0
         const = self.offset + float(self._Q.sum()) / 4.0 + float(self._q.sum()) / 2.0
+        if backend == "auto":
+            pairs = int(np.count_nonzero(self._Q)) // 2  # Q is zero-diagonal
+            backend = recommended_backend(self.num_variables, pairs)
+        if backend == "sparse":
+            return SparseIsingModel.from_dense(J, h, offset=const, name=self.name)
         return IsingModel(J, h, offset=const, name=self.name)
 
     @classmethod
-    def from_ising(cls, model: IsingModel) -> "QuboModel":
+    def from_ising(cls, model) -> "QuboModel":
         """Exact inverse of :meth:`to_ising` (``σ_i = 1 − 2 x_i``).
 
-        The diagonal of ``J`` contributes only the constant ``trace(J)``
-        because ``σ_i² = 1``.
+        Accepts either coupling backend.  The diagonal of ``J`` contributes
+        only the constant ``trace(J)`` because ``σ_i² = 1``.
         """
-        J = model.J - np.diag(np.diag(model.J))
-        trace = float(np.trace(model.J))
+        J_full = dense_couplings(model)
+        J = J_full - np.diag(np.diag(J_full))
+        trace = float(np.trace(J_full))
         h = model.h
         Q = 4.0 * J
         rowsum = J.sum(axis=1)

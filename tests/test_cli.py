@@ -1,11 +1,13 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface and the solve-API boundary."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.ising import generate_random, write_gset
+from repro.core import solve_ising, solve_maxcut
+from repro.ising import IsingModel, MaxCutProblem, generate_random, write_gset
 
 
 @pytest.fixture
@@ -50,6 +52,22 @@ class TestCommands:
             )
             assert code == 0
 
+    def test_solve_method_and_backend_selection(self, instance_file, capsys):
+        """Every method × backend combination solves through the CLI."""
+        for method in ("insitu", "sa", "mesa"):
+            for backend in ("auto", "dense", "sparse"):
+                code = main(
+                    ["solve", instance_file, "--iterations", "400",
+                     "--method", method, "--backend", backend, "--seed", "5"]
+                )
+                assert code == 0
+        printed = capsys.readouterr().out
+        assert "best cut" in printed
+
+    def test_solve_rejects_unknown_backend(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["solve", instance_file, "--backend", "csr"])
+
     def test_solve_with_reference_and_partition(self, instance_file, capsys):
         code = main(
             ["solve", instance_file, "--iterations", "2000", "--reference",
@@ -78,3 +96,54 @@ class TestCommands:
         printed = capsys.readouterr().out
         assert "R800-0" in printed
         assert "T3000-2" in printed
+
+
+class TestSolveBoundaryValidation:
+    """The solve API fails with actionable errors, not deep-loop crashes."""
+
+    @pytest.fixture
+    def model(self):
+        return IsingModel.random(12, seed=1)
+
+    @pytest.fixture
+    def problem(self):
+        return MaxCutProblem.random(12, 30, seed=1)
+
+    def test_unknown_method_raises_value_error(self, model):
+        with pytest.raises(ValueError, match="unknown method 'annealinator'"):
+            solve_ising(model, method="annealinator")
+
+    def test_non_positive_iterations(self, model, problem):
+        for bad in (0, -5):
+            with pytest.raises(ValueError, match="iterations must be >= 1"):
+                solve_ising(model, iterations=bad)
+            with pytest.raises(ValueError, match="iterations must be >= 1"):
+                solve_maxcut(problem, iterations=bad)
+
+    def test_non_integer_iterations(self, model):
+        with pytest.raises(ValueError, match="iterations must be an integer"):
+            solve_ising(model, iterations="lots")
+        with pytest.raises(ValueError, match="iterations must be an integer"):
+            solve_ising(model, iterations=10.5)
+        # integral floats and numpy ints are fine
+        assert solve_ising(model, iterations=50.0, seed=0).iterations == 50
+        assert solve_ising(model, iterations=np.int64(50), seed=0).iterations == 50
+
+    def test_empty_model_rejected(self):
+        empty = IsingModel(np.zeros((0, 0)))
+        with pytest.raises(ValueError, match="no spins"):
+            solve_ising(empty)
+
+    def test_non_model_rejected(self):
+        with pytest.raises(ValueError, match="IsingModel"):
+            solve_ising(np.zeros((4, 4)))
+
+    def test_unknown_backend_raises(self, model, problem):
+        with pytest.raises(ValueError, match="unknown backend 'csr'"):
+            solve_ising(model, backend="csr")
+        with pytest.raises(ValueError, match="unknown backend 'csr'"):
+            solve_maxcut(problem, backend="csr")
+
+    def test_backend_override_solves(self, model):
+        r = solve_ising(model, iterations=100, seed=3, backend="sparse")
+        assert r.best_energy <= r.energy + 1e-9

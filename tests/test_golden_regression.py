@@ -1,0 +1,89 @@
+"""Golden regression tests: pinned fixed-seed end-to-end solver results.
+
+These pin the exact best-energy / best-cut outputs of all three solver
+families on a small bundled G-set instance (``tests/data/golden_g60.gset``,
+60 nodes / 180 ±1-weighted edges) and on a fixed dyadic-coupling Ising
+model.  ±1 weights make ``J = W/4`` exactly representable, so every value
+below is bit-exact and backend-independent — a future refactor that
+changes *any* of them has silently changed solver behaviour (RNG
+consumption order, acceptance rule, schedule, field caching, …) and must
+update these goldens deliberately.
+
+Pinned with numpy 2.x / seed repo state; values are arithmetic-exact, not
+platform-float-luck, because all sums involved are dyadic rationals.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import solve_ising, solve_maxcut
+from repro.ising import IsingModel, parse_gset
+
+GOLDEN_GSET = Path(__file__).parent / "data" / "golden_g60.gset"
+
+#: method -> (best_cut, best_energy, accepted) at iterations=1600, seed=2024.
+GOLDEN_MAXCUT = {
+    "insitu": (46.0, -48.0, 282),
+    "sa": (44.0, -46.0, 822),
+    "mesa": (48.0, -50.0, 603),
+}
+
+#: method -> (best_energy, accepted) at iterations=1200, seed=7.
+GOLDEN_ISING = {
+    "insitu": (-106.375, 177),
+    "sa": (-101.125, 633),
+    "mesa": (-94.875, 484),
+}
+
+
+@pytest.fixture(scope="module")
+def golden_problem():
+    problem = parse_gset(GOLDEN_GSET, name="golden-g60")
+    assert problem.num_nodes == 60
+    assert problem.num_edges == 180
+    assert problem.total_weight == -4.0
+    return problem
+
+
+def golden_ising_model() -> IsingModel:
+    """The fixed 40-spin dyadic-coupling model with fields."""
+    rng = np.random.default_rng(99)
+    n = 40
+    values = rng.integers(-8, 9, size=(n, n)) / 8.0
+    upper = np.triu(values * (rng.random((n, n)) < 0.25), k=1)
+    h = rng.integers(-8, 9, size=n) / 8.0
+    return IsingModel(upper + upper.T, h, name="golden-ising-40")
+
+
+class TestMaxCutGoldens:
+    @pytest.mark.parametrize("method", sorted(GOLDEN_MAXCUT))
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_pinned_best_cut(self, golden_problem, method, backend):
+        cut, energy, accepted = GOLDEN_MAXCUT[method]
+        result = solve_maxcut(
+            golden_problem,
+            method=method,
+            iterations=1600,
+            seed=2024,
+            backend=backend,
+        )
+        assert result.best_cut == cut
+        assert result.anneal.best_energy == energy
+        assert result.anneal.accepted == accepted
+        # the reported configuration must reproduce the reported cut
+        assert golden_problem.cut_value(result.anneal.best_sigma) == cut
+
+
+class TestIsingGoldens:
+    @pytest.mark.parametrize("method", sorted(GOLDEN_ISING))
+    def test_pinned_best_energy(self, method):
+        energy, accepted = GOLDEN_ISING[method]
+        model = golden_ising_model()
+        result = solve_ising(model, method=method, iterations=1200, seed=7)
+        assert result.best_energy == energy
+        assert result.accepted == accepted
+        assert model.energy(result.best_sigma) == energy
