@@ -21,6 +21,7 @@ from repro.arch.hardware import HardwareConfig
 from repro.arch.ledger import Ledger
 from repro.arch.mapping import CrossbarMapping
 from repro.arch.result import CimRunResult
+from repro.circuits.crossbar import PROGRAM_PULSE_ENERGY
 from repro.circuits.quantize import MatrixQuantizer
 from repro.core.sa import DirectEAnnealer
 from repro.core.schedule import Schedule
@@ -143,7 +144,7 @@ class DirectECimAnnealer:
         self._iter_energy = [] if self.record_cost_trace else None
         self._iter_time = [] if self.record_cost_trace else None
         cells = 2 * self.config.quantization_bits * self.hw_model.num_spins**2
-        self._ledger.add("program", cells * 1.0e-14, 0.0, cells)
+        self._ledger.add("program", cells * PROGRAM_PULSE_ENERGY, 0.0, cells)
         anneal = self._annealer.run(iterations, initial=initial)
         result = CimRunResult(
             label=self.label,

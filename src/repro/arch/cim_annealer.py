@@ -32,7 +32,7 @@ from repro.core.factors import FractionalFactor, VbgEncoder
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.devices.variability import VariationModel
 from repro.ising.model import IsingModel
-from repro.ising.sparse import dense_couplings
+from repro.ising.sparse import SparseIsingModel, dense_couplings
 from repro.utils.rng import ensure_rng
 
 
@@ -54,9 +54,13 @@ class InSituCimAnnealer:
     variation:
         Device-variation model applied by the crossbar.
     tile_size:
-        When given, the matrix is stored on a grid of ``tile_size``-row
-        arrays (:class:`~repro.arch.tiling.TiledCrossbar`) instead of one
-        monolithic crossbar — the multi-array scale-out extension.
+        When given, the matrix is stored on a sparse grid of
+        ``tile_size``-row arrays (:class:`~repro.arch.tiling.TiledCrossbar`)
+        instead of one monolithic crossbar — the multi-array scale-out
+        extension.  A :class:`~repro.ising.sparse.SparseIsingModel` input
+        is sharded straight from its CSR arrays; neither the coupling
+        matrix nor the stored image is ever densified, so 100k+-node
+        low-degree instances fit in O(nnz + active-tile cells) memory.
     use_encoder:
         When True, temperatures are mapped to the 10 mV BG grid through a
         :class:`VbgEncoder` built from the crossbar's own transfer curve
@@ -93,14 +97,14 @@ class InSituCimAnnealer:
         self.config = config or HardwareConfig.proposed()
         self.factor = factor or FractionalFactor()
         rng = ensure_rng(seed)
-        # The crossbar physically programs every cell, so the machine layer
-        # densifies sparse models here (solver-only paths never do).
-        J = dense_couplings(model)
+        is_sparse = isinstance(model, SparseIsingModel)
         if tile_size is not None:
             from repro.arch.tiling import TiledCrossbar
 
+            # Tiles are extracted block-by-block, so a sparse model is fed
+            # straight through — the dense (n, n) matrix is never formed.
             self.crossbar = TiledCrossbar(
-                J,
+                model if is_sparse else dense_couplings(model),
                 tile_size=tile_size,
                 bits=self.config.quantization_bits,
                 backend=backend,
@@ -109,7 +113,28 @@ class InSituCimAnnealer:
                 variation=variation,
                 seed=rng,
             )
+            # Per-tile geometry — the physical array is the tile, not a
+            # monolithic n-row crossbar assembled from the full matrix.
+            self.mapping = CrossbarMapping.for_tiled(
+                self.crossbar, self.config.adc.mux_ratio
+            )
+            # The algorithmic model the controller believes in: the
+            # *stored* image, kept on the model's own coupling backend so
+            # the controller's field cache stays O(nnz) for sparse inputs.
+            if is_sparse:
+                self.hw_model = self.crossbar.stored_model(
+                    offset=model.offset, name=model.name
+                )
+            else:
+                self.hw_model = IsingModel(
+                    self.crossbar.matrix_hat, None,
+                    offset=model.offset, name=model.name,
+                )
         else:
+            # A single physical crossbar programs every cell, so the
+            # monolithic machine densifies sparse models here (solver-only
+            # paths never do).
+            J = dense_couplings(model)
             self.crossbar = DgFefetCrossbar(
                 J,
                 bits=self.config.quantization_bits,
@@ -120,14 +145,12 @@ class InSituCimAnnealer:
                 variation=variation,
                 seed=rng,
             )
-        self.mapping = CrossbarMapping.for_matrix(
-            J, self.config.quantization_bits, self.config.adc.mux_ratio
-        )
-        # The algorithmic model the controller believes in: the *stored*
-        # image, so software bookkeeping matches the programmed array.
-        self.hw_model = IsingModel(
-            self.crossbar.matrix_hat, None, offset=model.offset, name=model.name
-        )
+            self.mapping = CrossbarMapping.for_matrix(
+                J, self.config.quantization_bits, self.config.adc.mux_ratio
+            )
+            self.hw_model = IsingModel(
+                self.crossbar.matrix_hat, None, offset=model.offset, name=model.name
+            )
         encoder = None
         if use_encoder:
             encoder = VbgEncoder(self.factor, transfer=self.crossbar.factor)

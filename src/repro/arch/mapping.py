@@ -48,6 +48,18 @@ class CrossbarMapping:
         planes = 2 if np.any(np.asarray(matrix) < 0) else 1
         return cls(np.asarray(matrix).shape[0], bits, planes, mux_ratio)
 
+    @classmethod
+    def for_tiled(cls, tiled, mux_ratio: int = 8) -> "CrossbarMapping":
+        """Per-tile geometry of a :class:`~repro.arch.tiling.TiledCrossbar`.
+
+        A tiled machine's physical array is the *tile* — ``tile_size`` rows
+        and ``tile_size · k · planes`` columns with its own ADC population —
+        so the mapping describes one tile rather than a (nonexistent)
+        monolithic ``n``-row array.  Derived from the tile registry alone;
+        the full coupling matrix is never consulted, let alone densified.
+        """
+        return cls(tiled.tile_size, tiled.bits, tiled.planes, mux_ratio)
+
     @property
     def num_columns(self) -> int:
         """Total physical columns, ``n · k · planes``."""

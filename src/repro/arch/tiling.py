@@ -1,4 +1,4 @@
-"""Multi-tile crossbar: scaling beyond one physical array (extension).
+"""Multi-tile crossbar: sparse-aware scaling beyond one physical array.
 
 The paper evaluates a single crossbar per annealer ("Each annealer contains
 a single crossbar", Sec. 4), which caps the problem size at the array
@@ -6,33 +6,66 @@ dimension.  This extension tiles the coupling matrix over a grid of
 independent DG FeFET arrays:
 
 * ``J`` is split into ``⌈n/s⌉ × ⌈n/s⌉`` blocks of side ``s`` (the physical
-  array rows), each programmed into its own tile;
-* an incremental evaluation activates only the tile-columns holding flipped
-  spins; all activated tiles operate in parallel and their partial sums are
-  combined digitally (one extra adder-tree level);
+  array rows), and a tile is programmed **only for blocks containing
+  nonzeros** — the tile registry is a sparse dict, not a dense ``grid²``
+  list.  A degree-6 graph with locality (banded / toroidal orderings) needs
+  a few hundred tiles where a dense grid would program tens of thousands;
+* the grid is built directly from :class:`~repro.ising.sparse.
+  SparseIsingModel` CSR arrays via per-tile COO extraction
+  (:meth:`~repro.ising.sparse.SparseIsingModel.block_partition`) — the full
+  dense ``(n, n)`` matrix is never materialised on that path;
+* every tile quantizes against the *whole-matrix* LSB, so the assembled
+  stored image is identical to a monolithic crossbar programming the same
+  matrix;
+* an incremental evaluation activates only the (row-block, col-block) pairs
+  where a tile exists **and** the column slice is driven; all activated
+  tiles operate in parallel and their partial sums are combined digitally
+  (one extra adder-tree level);
 * activity counters sum across tiles while the critical path takes the
   *maximum* slot count of any tile.
 
 The interface mirrors :class:`~repro.circuits.crossbar.DgFefetCrossbar`
 (``matrix_hat``, ``factor``, ``compute_increment``, ``programming_summary``)
-so the in-situ machine can drive a tiled array transparently.
+so the in-situ machine can drive a tiled array transparently; consumers that
+must stay O(nnz) use :meth:`stored_model` instead of the dense
+``matrix_hat``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.crossbar import ActivationStats, DgFefetCrossbar
+from repro.circuits.crossbar import (
+    PROGRAM_PULSE_ENERGY,
+    ActivationStats,
+    DgFefetCrossbar,
+)
+from repro.circuits.quantize import MatrixQuantizer
+from repro.devices.constants import VBG_MAX
+from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
+
+_ZERO_STATS = ActivationStats(
+    phases=0,
+    adc_conversions=0,
+    mux_slots=0,
+    sa_codes=0,
+    fg_toggles=0,
+    dl_toggles=0,
+    active_cells=0,
+    settle_time=0.0,
+)
 
 
 class TiledCrossbar:
-    """A grid of DG FeFET crossbar tiles storing one coupling matrix.
+    """A sparse grid of DG FeFET crossbar tiles storing one coupling matrix.
 
     Parameters
     ----------
     matrix:
-        Symmetric coupling matrix of any size.
+        Symmetric coupling matrix of any size — a dense square array or a
+        :class:`~repro.ising.sparse.SparseIsingModel` (CSR path; the dense
+        matrix is never formed).
     tile_size:
         Physical array rows/columns per tile (the block side ``s``).
     bits / backend / wire / shift_add / variation / seed:
@@ -50,83 +83,222 @@ class TiledCrossbar:
         variation=None,
         seed=None,
     ) -> None:
-        J = np.asarray(matrix, dtype=np.float64)
-        if J.ndim != 2 or J.shape[0] != J.shape[1]:
-            raise ValueError("matrix must be square")
-        if tile_size < 2:
+        if int(tile_size) < 2:
             raise ValueError("tile_size must be >= 2")
-        self.n = J.shape[0]
         self.tile_size = int(tile_size)
         self.bits = int(bits)
-        self.grid = -(-self.n // self.tile_size)  # ceil division
         rng = ensure_rng(seed)
+        quantizer = MatrixQuantizer(bits)
 
-        self._bounds: list[tuple[int, int]] = [
+        self.backend = backend
+        tile_kwargs = dict(
+            bits=bits,
+            backend=backend,
+            wire=wire,
+            shift_add=shift_add,
+            variation=variation,
+            require_symmetric=False,
+        )
+        s = self.tile_size
+        if isinstance(matrix, SparseIsingModel):
+            self.n = matrix.num_spins
+            self.lsb = quantizer.lsb_for_peak(matrix.max_abs_entry())
+        else:
+            matrix = np.asarray(matrix, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+                raise ValueError("matrix must be square")
+            self.n = matrix.shape[0]
+            self.lsb = quantizer.lsb_for(matrix)
+        self.grid = -(-self.n // s)
+        self._bounds = self._block_bounds()
+        # Nonzero blocks in deterministic row-major order, so variation
+        # draws from the shared rng are reproducible for a fixed seed and
+        # identical between the sparse- and dense-input paths.
+        self._tiles: dict[tuple[int, int], DgFefetCrossbar] = {
+            key: DgFefetCrossbar(block, lsb=self.lsb, seed=rng, **tile_kwargs)
+            for key, block in self._iter_nonzero_blocks(matrix)
+        }
+
+        # Column-block → sorted row-blocks holding a tile: the activation
+        # index compute_increment walks.
+        self._col_rows: dict[int, list[int]] = {}
+        for bi, bj in sorted(self._tiles):
+            self._col_rows.setdefault(bj, []).append(bi)
+
+        # The factor curve is a nominal-cell property, identical across
+        # tiles; an all-zero matrix has no tile, so keep a 2×2 reference.
+        if self._tiles:
+            self._ref = next(iter(self._tiles.values()))
+        else:
+            self._ref = DgFefetCrossbar(
+                np.zeros((2, 2)), lsb=self.lsb, seed=rng, **tile_kwargs
+            )
+        self._matrix_hat: np.ndarray | None = None
+
+    def _block_bounds(self) -> list[tuple[int, int]]:
+        return [
             (i * self.tile_size, min((i + 1) * self.tile_size, self.n))
             for i in range(self.grid)
         ]
-        self._tiles: list[list[DgFefetCrossbar]] = []
-        for r0, r1 in self._bounds:
-            row_tiles = []
-            for c0, c1 in self._bounds:
-                block = np.zeros((self.tile_size, self.tile_size))
-                block[: r1 - r0, : c1 - c0] = J[r0:r1, c0:c1]
-                row_tiles.append(
-                    DgFefetCrossbar(
-                        block,
-                        bits=bits,
-                        backend=backend,
-                        wire=wire,
-                        shift_add=shift_add,
-                        variation=variation,
-                        require_symmetric=False,
-                        seed=rng,
-                    )
-                )
-            self._tiles.append(row_tiles)
 
-        # Reassemble the stored image from the tile images.
-        self.matrix_hat = np.zeros_like(J)
-        for i, (r0, r1) in enumerate(self._bounds):
-            for j, (c0, c1) in enumerate(self._bounds):
-                tile_hat = self._tiles[i][j].matrix_hat
-                self.matrix_hat[r0:r1, c0:c1] = tile_hat[: r1 - r0, : c1 - c0]
+    def _iter_nonzero_blocks(self, matrix):
+        """Yield ``((bi, bj), padded_block)`` for every nonzero block.
 
+        Sparse models come through :meth:`SparseIsingModel.block_partition`
+        (one O(nnz log nnz) pass, no dense matrix); dense arrays are
+        sliced block by block.  Either way the yielded block is the
+        ``s × s`` zero-padded array a physical tile programs.
+        """
+        s = self.tile_size
+        if isinstance(matrix, SparseIsingModel):
+            for key, (lr, lc, vals) in sorted(matrix.block_partition(s).items()):
+                block = np.zeros((s, s))
+                block[lr, lc] = vals
+                yield key, block
+        else:
+            for bi, (r0, r1) in enumerate(self._bounds):
+                for bj, (c0, c1) in enumerate(self._bounds):
+                    sub = matrix[r0:r1, c0:c1]
+                    if not np.any(sub):
+                        continue  # empty block: no tile is programmed
+                    block = np.zeros((s, s))
+                    block[: r1 - r0, : c1 - c0] = sub
+                    yield (bi, bj), block
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
     @property
     def num_tiles(self) -> int:
-        """Total tile count, ``grid²``."""
+        """Instantiated (nonzero-block) tiles — at most ``grid²``."""
+        return len(self._tiles)
+
+    @property
+    def grid_tiles(self) -> int:
+        """Tile slots of the full grid, ``grid²``."""
         return self.grid * self.grid
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of grid slots actually holding a programmed tile."""
+        return self.num_tiles / self.grid_tiles if self.grid_tiles else 0.0
+
+    @property
+    def planes(self) -> int:
+        """Sign planes in use across the grid (2 iff any tile stores one)."""
+        if any(tile.planes == 2 for tile in self._tiles.values()):
+            return 2
+        return 1
+
+    def tile_at(self, block_row: int, block_col: int) -> DgFefetCrossbar | None:
+        """The tile programmed at ``(block_row, block_col)``, if any."""
+        return self._tiles.get((block_row, block_col))
+
+    @property
+    def matrix_hat(self) -> np.ndarray:
+        """Dense stored image ``Ĵ`` assembled from the tiles on demand.
+
+        O(n²) memory — small-instance/test convenience only; large sparse
+        flows use :meth:`stored_model` and never build this.
+        """
+        if self._matrix_hat is None:
+            out = np.zeros((self.n, self.n))
+            for (bi, bj), tile in self._tiles.items():
+                r0, r1 = self._bounds[bi]
+                c0, c1 = self._bounds[bj]
+                out[r0:r1, c0:c1] = tile.matrix_hat[: r1 - r0, : c1 - c0]
+            self._matrix_hat = out
+        return self._matrix_hat
+
+    def stored_model(
+        self, offset: float = 0.0, name: str = "tiled-crossbar"
+    ) -> SparseIsingModel:
+        """The stored image ``Ĵ`` as a :class:`SparseIsingModel`.
+
+        Collects each tile's dequantized nonzeros back into global COO
+        coordinates — O(nnz + tiles · s²) work, never an ``(n, n)`` array.
+        Quantization is element-wise on a symmetric matrix, so the image is
+        symmetric and the canonical upper triangle is complete.
+        """
+        rows = [np.zeros(0, dtype=np.intp)]
+        cols = [np.zeros(0, dtype=np.intp)]
+        vals = [np.zeros(0, dtype=np.float64)]
+        for (bi, bj), tile in sorted(self._tiles.items()):
+            if bi > bj:
+                continue  # lower triangle mirrors the upper one
+            r0, r1 = self._bounds[bi]
+            c0, c1 = self._bounds[bj]
+            hat = tile.matrix_hat[: r1 - r0, : c1 - c0]
+            lr, lc = np.nonzero(hat)
+            if bi == bj:
+                keep = lr <= lc
+                lr, lc = lr[keep], lc[keep]
+            rows.append(lr + r0)
+            cols.append(lc + c0)
+            vals.append(hat[lr, lc])
+        return SparseIsingModel.from_edges(
+            self.n,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+            None,
+            offset=offset,
+            name=name,
+        )
 
     def factor(self, v_bg: float) -> float:
         """Shared-rail factor (all tiles see the same back-gate voltage)."""
-        return self._tiles[0][0].factor(v_bg)
+        return self._ref.factor(v_bg)
 
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
     def compute_increment(
         self, sigma_r, sigma_c, v_bg: float, validate: bool = True
     ) -> tuple[float, ActivationStats]:
-        """Tile-parallel evaluation of ``σ_rᵀ Ĵ σ_c · f(V_BG)``."""
+        """Tile-parallel evaluation of ``σ_rᵀ Ĵ σ_c · f(V_BG)``.
+
+        Only (row-block, col-block) pairs whose tile exists *and* whose
+        column slice is driven are activated — for a single-flip proposal
+        on a sparse matrix that is the flipped spin's column block times
+        the few row blocks holding its neighbours.
+
+        In the behavioral backend the partial sums are combined digitally
+        and the shared-rail factor is applied *once* to the combined value
+        (tiles are read at ``V_BG^{max}``, where the factor is exactly 1) —
+        the same evaluation order as a monolithic array, so behavioral
+        tiled and monolithic values agree bit for bit.  The device backend
+        keeps the factor inside every tile's analog read, as the physical
+        rail does.
+        """
         r = np.asarray(sigma_r, dtype=np.float64)
         c = np.asarray(sigma_c, dtype=np.float64)
-        if r.shape != (self.n,) or c.shape != (self.n,):
+        if validate and (r.shape != (self.n,) or c.shape != (self.n,)):
             raise ValueError(f"input vectors must have shape ({self.n},)")
+        driven = np.flatnonzero(c)
         total = 0.0
         phases = 0
         conversions = sa_codes = fg_toggles = dl_toggles = active_cells = 0
         max_slots = 0
         max_settle = 0.0
+        if driven.size == 0:
+            return total, _ZERO_STATS
+        behavioral = self.backend == "behavioral"
+        tile_vbg = VBG_MAX if behavioral else v_bg
         pad = self.tile_size
-        active_cols = [
-            j for j, (c0, c1) in enumerate(self._bounds) if np.any(c[c0:c1])
-        ]
-        for j in active_cols:
-            c0, c1 = self._bounds[j]
+        for bj in np.unique(driven // pad):
+            row_blocks = self._col_rows.get(int(bj))
+            if row_blocks is None:
+                continue  # the whole column block is structurally zero
+            c0, c1 = self._bounds[bj]
             c_slice = np.zeros(pad)
             c_slice[: c1 - c0] = c[c0:c1]
-            for i, (r0, r1) in enumerate(self._bounds):
+            for bi in row_blocks:
+                r0, r1 = self._bounds[bi]
                 r_slice = np.zeros(pad)
                 r_slice[: r1 - r0] = r[r0:r1]
-                value, stats = self._tiles[i][j].compute_increment(
-                    r_slice, c_slice, v_bg, validate=validate
+                value, stats = self._tiles[(bi, bj)].compute_increment(
+                    r_slice, c_slice, tile_vbg, validate=validate
                 )
                 total += value
                 phases = max(phases, stats.phases)
@@ -137,6 +309,8 @@ class TiledCrossbar:
                 active_cells += stats.active_cells
                 max_slots = max(max_slots, stats.mux_slots)
                 max_settle = max(max_settle, stats.settle_time)
+        if behavioral:
+            total *= self.factor(v_bg)
         return total, ActivationStats(
             phases=phases,
             adc_conversions=conversions,
@@ -148,12 +322,32 @@ class TiledCrossbar:
             settle_time=max_settle,
         )
 
+    # ------------------------------------------------------------------
+    # Programming cost
+    # ------------------------------------------------------------------
     def programming_summary(self) -> dict[str, float]:
-        """Aggregate one-time programming cost over all tiles."""
-        totals = {"cells": 0.0, "programmed_ones": 0.0, "write_pulses": 0.0, "energy": 0.0}
-        for row in self._tiles:
-            for tile in row:
-                summary = tile.programming_summary()
-                for key in totals:
-                    totals[key] += summary[key]
+        """One-time programming cost over the *instantiated* tiles.
+
+        Counts the logical cells of each programmed block — empty blocks
+        hold no tile and contribute nothing, and the pad cells of edge
+        tiles (rows/columns beyond ``n``) are never written, so neither
+        inflates the totals.  ``tiles`` / ``grid_tiles`` report the sharded
+        geometry alongside the cost.
+        """
+        totals = {
+            "cells": 0.0,
+            "programmed_ones": 0.0,
+            "write_pulses": 0.0,
+            "energy": 0.0,
+        }
+        for (bi, bj), tile in self._tiles.items():
+            r0, r1 = self._bounds[bi]
+            c0, c1 = self._bounds[bj]
+            cells = 2.0 * self.bits * (r1 - r0) * (c1 - c0)
+            totals["cells"] += cells
+            totals["programmed_ones"] += float(tile.quantized.cell_count())
+            totals["write_pulses"] += cells
+            totals["energy"] += cells * PROGRAM_PULSE_ENERGY
+        totals["tiles"] = float(self.num_tiles)
+        totals["grid_tiles"] = float(self.grid_tiles)
         return totals

@@ -48,6 +48,10 @@ from repro.devices.variability import VariationModel
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_range
 
+#: One-time program/erase pulse energy (~10 fJ per ±4 V / 1 µs gate pulse
+#: at 22 nm) — shared by every machine's programming-cost bookkeeping.
+PROGRAM_PULSE_ENERGY = 1.0e-14
+
 
 @dataclass(frozen=True)
 class ActivationStats:
@@ -105,6 +109,9 @@ class DgFefetCrossbar:
         per-read current noise).
     cell:
         Template DG FeFET; defaults to the standard calibrated cell.
+    lsb:
+        Optional quantization LSB override; tiled arrays pass the
+        whole-matrix scale so all tiles share one magnitude grid.
     seed:
         Seed for the variation draws.
     """
@@ -120,6 +127,7 @@ class DgFefetCrossbar:
         variation: VariationModel | None = None,
         cell: DGFeFET | None = None,
         require_symmetric: bool = True,
+        lsb: float | None = None,
         seed=None,
     ) -> None:
         if backend not in ("behavioral", "device"):
@@ -127,11 +135,11 @@ class DgFefetCrossbar:
         self.backend = backend
         self.quantizer = MatrixQuantizer(bits)
         if require_symmetric:
-            self.quantized: QuantizedMatrix = self.quantizer.quantize(matrix)
+            self.quantized: QuantizedMatrix = self.quantizer.quantize(matrix, lsb=lsb)
         else:
             # Tile mode: off-diagonal blocks of a symmetric model are
             # arbitrary square matrices; the array itself doesn't care.
-            self.quantized = self.quantizer.quantize_general(matrix)
+            self.quantized = self.quantizer.quantize_general(matrix, lsb=lsb)
         self.matrix_hat = self.quantized.dequantize()
         self.bits = int(bits)
         self.n = self.matrix_hat.shape[0]
@@ -188,6 +196,11 @@ class DgFefetCrossbar:
         self._last_fg: np.ndarray | None = None
         self._last_dl: np.ndarray | None = None
         self._factor_cache: dict[float, float] = {}
+
+    @property
+    def planes(self) -> int:
+        """Sign planes in use: 2 when a negative plane exists, else 1."""
+        return self._planes_used
 
     # ------------------------------------------------------------------
     # Factor curve (normalised nominal-cell current)
@@ -372,10 +385,9 @@ class DgFefetCrossbar:
         """
         total_cells = 2 * self.bits * self.n * self.n
         ones = self.quantized.cell_count()
-        pulse_energy = 1.0e-14  # ~10 fJ per ±4 V / 1 µs gate pulse at 22 nm
         return {
             "cells": float(total_cells),
             "programmed_ones": float(ones),
             "write_pulses": float(total_cells),
-            "energy": total_cells * pulse_energy,
+            "energy": total_cells * PROGRAM_PULSE_ENERGY,
         }

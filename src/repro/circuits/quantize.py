@@ -95,19 +95,30 @@ class MatrixQuantizer:
         """Largest representable magnitude level, ``2^k − 1``."""
         return (1 << self.bits) - 1
 
-    def lsb_for(self, matrix: np.ndarray) -> float:
-        """LSB that maps the largest |element| onto the top level."""
-        peak = float(np.max(np.abs(matrix))) if matrix.size else 0.0
+    def lsb_for_peak(self, peak: float) -> float:
+        """LSB that maps a largest |element| of ``peak`` onto the top level."""
+        peak = float(peak)
+        if peak < 0:
+            raise ValueError(f"peak must be >= 0, got {peak}")
         if peak == 0.0:
             return 1.0
         return peak / self.max_level
 
-    def quantize(self, matrix) -> QuantizedMatrix:
-        """Quantize a symmetric matrix into sign-split bit planes."""
-        J = check_square_symmetric(matrix, "matrix")
-        return self._quantize_validated(J)
+    def lsb_for(self, matrix: np.ndarray) -> float:
+        """LSB that maps the largest |element| onto the top level."""
+        return self.lsb_for_peak(float(np.max(np.abs(matrix))) if matrix.size else 0.0)
 
-    def quantize_general(self, matrix) -> QuantizedMatrix:
+    def quantize(self, matrix, lsb: float | None = None) -> QuantizedMatrix:
+        """Quantize a symmetric matrix into sign-split bit planes.
+
+        ``lsb`` overrides the per-matrix scale — tiled arrays pass the
+        whole-matrix LSB so every tile shares one magnitude grid and the
+        assembled image matches a monolithic crossbar exactly.
+        """
+        J = check_square_symmetric(matrix, "matrix")
+        return self._quantize_validated(J, lsb)
+
+    def quantize_general(self, matrix, lsb: float | None = None) -> QuantizedMatrix:
         """Quantize a square (not necessarily symmetric) matrix.
 
         Crossbar *tiles* store off-diagonal blocks of a symmetric matrix,
@@ -117,10 +128,15 @@ class MatrixQuantizer:
         J = np.asarray(matrix, dtype=np.float64)
         if J.ndim != 2 or J.shape[0] != J.shape[1]:
             raise ValueError(f"matrix must be square, got shape {J.shape}")
-        return self._quantize_validated(J)
+        return self._quantize_validated(J, lsb)
 
-    def _quantize_validated(self, J: np.ndarray) -> QuantizedMatrix:
-        lsb = self.lsb_for(J)
+    def _quantize_validated(self, J: np.ndarray, lsb: float | None = None) -> QuantizedMatrix:
+        if lsb is None:
+            lsb = self.lsb_for(J)
+        else:
+            lsb = float(lsb)
+            if lsb <= 0:
+                raise ValueError(f"lsb must be > 0, got {lsb}")
         levels = np.rint(np.abs(J) / lsb).astype(np.int64)
         levels = np.minimum(levels, self.max_level)
         pos_mask = J > 0

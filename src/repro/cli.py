@@ -49,6 +49,7 @@ def _cmd_solve(args) -> int:
         seed=args.seed,
         reference_cut=reference,
         backend=args.backend,
+        tile_size=args.tile_size,
         flips_per_iteration=args.flips,
     )
     print(result.summary())
@@ -166,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--method", choices=("insitu", "sa", "mesa"), default="insitu")
     solve.add_argument("--backend", choices=("auto", "dense", "sparse"), default="auto",
                        help="coupling backend (auto = density heuristic)")
+    solve.add_argument("--tile-size", type=int, default=None, metavar="S",
+                       help="solve on the tiled crossbar machine with S-row "
+                            "arrays (insitu only; sparse models shard from "
+                            "CSR without densifying)")
     solve.add_argument("--iterations", type=int, default=10_000)
     solve.add_argument("--flips", type=int, default=1)
     solve.add_argument("--seed", type=int, default=0)

@@ -27,6 +27,7 @@ from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_count
 
 
 @dataclass
@@ -177,13 +178,11 @@ class BatchInSituAnnealer(_BatchEngine):
         proposal: str = "scan",
         seed=None,
     ) -> None:
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1")
         if proposal not in ("scan", "random"):
             raise ValueError("proposal must be 'scan' or 'random'")
         self.model = model
         self.n = model.num_spins
-        self.replicas = int(replicas)
+        self.replicas = check_count("replicas", replicas)
         self.factor = factor or FractionalFactor()
         self.schedule = schedule
         self.encoder = encoder
@@ -226,13 +225,11 @@ class BatchDirectEAnnealer(_BatchEngine):
         proposal: str = "random",
         seed=None,
     ) -> None:
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1")
         if proposal not in ("scan", "random"):
             raise ValueError("proposal must be 'scan' or 'random'")
         self.model = model
         self.n = model.num_spins
-        self.replicas = int(replicas)
+        self.replicas = check_count("replicas", replicas)
         self.schedule = schedule
         self.proposal = proposal
         self._rng = ensure_rng(seed)

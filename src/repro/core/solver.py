@@ -28,7 +28,7 @@ for such models.
 
 from __future__ import annotations
 
-import operator
+from dataclasses import replace
 
 from repro.core.annealer import InSituAnnealer
 from repro.core.mesa import MesaAnnealer
@@ -37,6 +37,7 @@ from repro.core.sa import DirectEAnnealer
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel, as_backend
+from repro.utils.validation import check_count
 
 _SOLVERS = {
     "insitu": InSituAnnealer,
@@ -49,27 +50,19 @@ def _check_solve_args(model, method: str, iterations) -> int:
     """Boundary validation shared by the solve entry points.
 
     Returns the validated iteration count.  Raises ``ValueError`` with an
-    actionable message for unknown methods, non-positive iteration budgets
-    and empty models — the failure modes that previously surfaced as
-    opaque errors deep inside the annealer loops.
+    actionable message for unknown methods, non-positive / boolean
+    iteration budgets and empty models — the failure modes that previously
+    surfaced as opaque errors (or, for ``iterations=True``, a silent
+    1-iteration run) deep inside the annealer loops.
     """
     if method not in _SOLVERS:
         raise ValueError(
             f"unknown method {method!r}; choose from {sorted(_SOLVERS)}"
         )
-    if isinstance(iterations, float) and iterations.is_integer():
-        iterations = int(iterations)
-    try:
-        iterations = operator.index(iterations)
-    except TypeError:
-        raise ValueError(
-            f"iterations must be an integer, got {iterations!r}"
-        ) from None
-    if iterations < 1:
-        raise ValueError(
-            f"iterations must be >= 1, got {iterations}; the annealers need "
-            "at least one proposal/accept step"
-        )
+    iterations = check_count(
+        "iterations", iterations,
+        hint="the annealers need at least one proposal/accept step",
+    )
     num_spins = getattr(model, "num_spins", None)
     if num_spins is None:
         raise ValueError(
@@ -83,12 +76,53 @@ def _check_solve_args(model, method: str, iterations) -> int:
     return iterations
 
 
+def _strip_ancilla(result: AnnealResult) -> AnnealResult:
+    """Undo the ancilla fold: pin spin 0 to +1 and drop it.
+
+    A global flip leaves a couplings-only energy invariant, so flipping a
+    configuration whose ancilla landed on −1 changes nothing but restores
+    the ``σ_0 = +1`` convention the fold encodes fields under.
+    """
+    sigma = result.sigma if result.sigma[0] == 1 else -result.sigma
+    best = result.best_sigma if result.best_sigma[0] == 1 else -result.best_sigma
+    return replace(result, sigma=sigma[1:], best_sigma=best[1:])
+
+
+def _solve_tiled(model, iterations, seed, tile_size, solver_kwargs) -> AnnealResult:
+    """Route a solve through the tiled in-situ CiM machine.
+
+    The crossbar machines store couplings only, so a model with fields is
+    folded through an ancilla spin on the way in and the ancilla is
+    stripped from the returned configurations.
+
+    ``solve_ising``'s own ``backend`` kwarg names the *coupling* backend,
+    so the machine's crossbar simulation backend travels under
+    ``crossbar_backend`` in ``solver_kwargs`` (``"behavioral"`` default,
+    ``"device"`` for the compact-model evaluation).
+    """
+    # Local import: repro.arch layers on top of repro.core.
+    from repro.arch.cim_annealer import InSituCimAnnealer
+
+    if "crossbar_backend" in solver_kwargs:
+        solver_kwargs = dict(solver_kwargs)
+        solver_kwargs["backend"] = solver_kwargs.pop("crossbar_backend")
+    work = model.with_ancilla() if model.has_fields else model
+    machine = InSituCimAnnealer(
+        work, tile_size=tile_size, seed=seed, **solver_kwargs
+    )
+    result = machine.run(iterations).anneal
+    if work is not model:
+        result = _strip_ancilla(result)
+    return result
+
+
 def solve_ising(
     model: IsingModel | SparseIsingModel,
     method: str = "insitu",
     iterations: int = 1000,
     seed=None,
     backend: str | None = None,
+    tile_size: int | None = None,
     **solver_kwargs,
 ) -> AnnealResult:
     """Minimise an Ising model with the selected annealer.
@@ -112,12 +146,33 @@ def solve_ising(
         low-density instances; fixed-seed trajectories are backend-
         independent for exactly-representable couplings (see module
         docstring).
+    tile_size:
+        When given (and ``method="insitu"``), the solve runs on the
+        hardware-instrumented tiled crossbar machine
+        (:class:`~repro.arch.cim_annealer.InSituCimAnnealer`) with
+        ``tile_size``-row arrays: sparse models are sharded straight from
+        CSR, so 100k+-node low-degree instances never densify.  Energies
+        are then those of the *stored* (k-bit-quantized) image — exact for
+        dyadic couplings such as ±1-weighted G-sets.  Pass
+        ``crossbar_backend="device"`` for the compact-model tile
+        evaluation (``backend`` here always means the coupling backend).
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``flips_per_iteration``).
     """
     iterations = _check_solve_args(model, method, iterations)
     if backend is not None:
         model = as_backend(model, backend)
+    if tile_size is not None:
+        tile_size = check_count(
+            "tile_size", tile_size, minimum=2,
+            hint="a physical tile needs at least 2 rows",
+        )
+        if method != "insitu":
+            raise ValueError(
+                f"tile_size is a crossbar-machine knob and only applies to "
+                f"method='insitu', got method={method!r}"
+            )
+        return _solve_tiled(model, iterations, seed, tile_size, solver_kwargs)
     solver = _SOLVERS[method](model, seed=seed, **solver_kwargs)
     return solver.run(iterations)
 
@@ -129,6 +184,7 @@ def solve_maxcut(
     seed=None,
     reference_cut: float | None = None,
     backend: str = "auto",
+    tile_size: int | None = None,
     **solver_kwargs,
 ) -> MaxCutResult:
     """Solve a Max-Cut instance and report cut values.
@@ -140,7 +196,8 @@ def solve_maxcut(
     ``backend`` selects the coupling representation of the underlying
     Ising model (see :meth:`MaxCutProblem.to_ising`); the default
     ``"auto"`` builds large sparse instances — the whole G-set suite —
-    on the CSR backend.
+    on the CSR backend.  ``tile_size`` routes the solve through the tiled
+    crossbar machine (see :func:`solve_ising`).
     """
     if getattr(problem, "num_nodes", None) is None:
         raise ValueError(
@@ -148,7 +205,8 @@ def solve_maxcut(
         )
     model = problem.to_ising(backend=backend)
     result = solve_ising(
-        model, method=method, iterations=iterations, seed=seed, **solver_kwargs
+        model, method=method, iterations=iterations, seed=seed,
+        tile_size=tile_size, **solver_kwargs
     )
     return MaxCutResult(
         anneal=result,

@@ -74,8 +74,15 @@ def parse_gset(source, name: str = "gset") -> MaxCutProblem:
     n, m = int(header[0]), int(header[1])
     edges = np.zeros((m, 2), dtype=np.intp)
     weights = np.ones(m, dtype=np.float64)
-    if len(lines) - 1 < m:
-        raise ValueError(f"expected {m} edge lines, found {len(lines) - 1}")
+    body = len(lines) - 1
+    if body != m:
+        # Truncating at m used to silently drop trailing edge lines, so a
+        # file whose header disagrees with its body parsed without error.
+        raise ValueError(
+            f"expected {m} edge lines, found {body}: the header declares "
+            f"m={m} but the body has {body} non-comment lines"
+            + (" (trailing lines would be silently ignored)" if body > m else "")
+        )
     for i, ln in enumerate(lines[1 : m + 1]):
         parts = ln.split()
         if len(parts) < 2:

@@ -279,6 +279,53 @@ class SparseIsingModel:
         """The raw ``(indptr, indices, data)`` CSR arrays (do not mutate)."""
         return self._indptr, self._indices, self._data
 
+    def max_abs_entry(self) -> float:
+        """Largest |J_ij| over *all* stored entries (diagonal included).
+
+        This is what a whole-matrix quantizer scales against
+        (:meth:`~repro.circuits.quantize.MatrixQuantizer.lsb_for`), computed
+        in O(nnz) without densifying.
+        """
+        return float(np.max(np.abs(self._data))) if self._data.size else 0.0
+
+    def block_partition(
+        self, tile_size: int
+    ) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Group the stored entries into ``tile_size``-square blocks.
+
+        Returns ``{(bi, bj): (local_rows, local_cols, values)}`` covering
+        exactly the blocks that contain at least one nonzero — the registry
+        a tiled crossbar instantiates physical arrays from.  Coordinates
+        are local to the block (``global = b * tile_size + local``).  One
+        O(nnz log nnz) pass; the dense ``(n, n)`` matrix is never formed.
+        """
+        s = int(tile_size)
+        if s < 1:
+            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        if self._data.size == 0:
+            return {}
+        grid = -(-self._n // s)  # ceil division
+        block_rows = self._rows // s
+        block_cols = self._indices // s
+        key = block_rows * grid + block_cols
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_key[1:] != sorted_key[:-1]))
+        )
+        bounds = np.concatenate((starts, [sorted_key.size]))
+        blocks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for t, lo in enumerate(starts):
+            hi = bounds[t + 1]
+            bi, bj = divmod(int(sorted_key[lo]), grid)
+            idx = order[lo:hi]
+            blocks[(bi, bj)] = (
+                self._rows[idx] - bi * s,
+                self._indices[idx] - bj * s,
+                self._data[idx],
+            )
+        return blocks
+
     def coupling_diagonal(self) -> np.ndarray:
         """Dense view of ``diag(J)`` (do not mutate)."""
         return self._diag

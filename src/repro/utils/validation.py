@@ -7,6 +7,8 @@ with actionable messages instead of producing subtly wrong physics.
 
 from __future__ import annotations
 
+import operator
+
 import numpy as np
 
 
@@ -18,6 +20,31 @@ def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
             raise ValueError(f"{name} must be >= 0, got {value}")
     elif value <= 0:
         raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_count(name: str, value, minimum: int = 1, hint: str = "") -> int:
+    """Validate an integer count parameter (iterations, replicas, …).
+
+    Rejects ``bool`` explicitly — ``True`` is an ``int`` subclass and used
+    to slip through ``operator.index`` as a silent count of 1 — and accepts
+    integer-valued floats (``1e4``) for convenience.  Raises ``ValueError``
+    with an actionable message otherwise.
+    """
+    if isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be an integer, got {value!r} (a bool would silently "
+            f"run as {int(value)}); pass an explicit count"
+        )
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+    if value < minimum:
+        suffix = f"; {hint}" if hint else ""
+        raise ValueError(f"{name} must be >= {minimum}, got {value}{suffix}")
     return value
 
 

@@ -68,6 +68,22 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["solve", instance_file, "--backend", "csr"])
 
+    def test_solve_on_tiled_machine(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--tile-size",
+             "16", "--backend", "sparse", "--seed", "5"]
+        )
+        assert code == 0
+        assert "best cut" in capsys.readouterr().out
+
+    def test_tile_size_rejected_for_non_insitu(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--tile-size",
+             "16", "--method", "sa"]
+        )
+        assert code == 2
+        assert "tile_size" in capsys.readouterr().err
+
     def test_solve_with_reference_and_partition(self, instance_file, capsys):
         code = main(
             ["solve", instance_file, "--iterations", "2000", "--reference",
@@ -128,6 +144,24 @@ class TestSolveBoundaryValidation:
         # integral floats and numpy ints are fine
         assert solve_ising(model, iterations=50.0, seed=0).iterations == 50
         assert solve_ising(model, iterations=np.int64(50), seed=0).iterations == 50
+
+    def test_boolean_iterations_rejected(self, model, problem):
+        """``iterations=True`` used to pass operator.index and run once."""
+        for bad in (True, False):
+            with pytest.raises(ValueError, match="iterations must be an integer"):
+                solve_ising(model, iterations=bad)
+            with pytest.raises(ValueError, match="iterations must be an integer"):
+                solve_maxcut(problem, iterations=bad)
+
+    def test_boolean_replicas_rejected(self, model):
+        """Same bool trap for the replica-count boundary."""
+        from repro.core import BatchDirectEAnnealer, BatchInSituAnnealer
+
+        for engine in (BatchInSituAnnealer, BatchDirectEAnnealer):
+            with pytest.raises(ValueError, match="replicas must be an integer"):
+                engine(model, replicas=True)
+            with pytest.raises(ValueError, match="replicas must be >= 1"):
+                engine(model, replicas=0)
 
     def test_empty_model_rejected(self):
         empty = IsingModel(np.zeros((0, 0)))

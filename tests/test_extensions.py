@@ -192,11 +192,8 @@ class TestTiling:
         check = machine.hw_model.energy(result.anneal.best_sigma)
         assert check == pytest.approx(result.anneal.best_energy, abs=1e-6)
 
-    def test_validation(self):
-        with pytest.raises(ValueError):
-            TiledCrossbar(np.zeros((4, 5)), tile_size=2)
-        with pytest.raises(ValueError):
-            TiledCrossbar(np.zeros((4, 4)), tile_size=1)
+    # constructor validation lives in tests/test_tiling.py
+    # (TestSolveApiRouting.test_tiled_crossbar_validation)
 
 
 class TestProgramVerify:

@@ -78,6 +78,44 @@ class TestMaxCutGoldens:
         assert golden_problem.cut_value(result.anneal.best_sigma) == cut
 
 
+class TestTiledMachineGoldens:
+    """Pinned tiled-crossbar machine run on the bundled golden instance.
+
+    The hardware-in-the-loop path (``tile_size=`` routes through
+    :class:`~repro.arch.cim_annealer.InSituCimAnnealer`) with ±1 weights:
+    ``J = W/4`` is dyadic and 4-bit quantization stores it exactly, so the
+    run is bit-exact, tile-size-invariant, and identical to the monolithic
+    machine.
+    """
+
+    GOLDEN_TILED = (46.0, -48.0, 173)  # (best_cut, best_energy, accepted)
+
+    @pytest.mark.parametrize("tile_size", [16, 25])
+    def test_pinned_tiled_machine_run(self, golden_problem, tile_size):
+        cut, energy, accepted = self.GOLDEN_TILED
+        result = solve_maxcut(
+            golden_problem,
+            iterations=1600,
+            seed=2024,
+            backend="sparse",
+            tile_size=tile_size,
+        )
+        assert result.best_cut == cut
+        assert result.anneal.best_energy == energy
+        assert result.anneal.accepted == accepted
+        assert golden_problem.cut_value(result.anneal.best_sigma) == cut
+
+    def test_tiled_equals_monolithic_machine(self, golden_problem):
+        from repro.arch import InSituCimAnnealer
+
+        mono = InSituCimAnnealer(
+            golden_problem.to_ising(backend="dense"), seed=2024
+        ).run(1600)
+        cut, energy, accepted = self.GOLDEN_TILED
+        assert mono.anneal.best_energy == energy
+        assert mono.anneal.accepted == accepted
+
+
 class TestIsingGoldens:
     @pytest.mark.parametrize("method", sorted(GOLDEN_ISING))
     def test_pinned_best_energy(self, method):

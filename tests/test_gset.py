@@ -44,6 +44,15 @@ class TestFormat:
         with pytest.raises(ValueError, match="edge lines"):
             parse_gset("3 5\n1 2 1\n")
 
+    def test_parse_rejects_trailing_edges(self):
+        """Extra body lines used to be silently dropped by lines[1:m+1]."""
+        with pytest.raises(ValueError, match=r"m=1.*3 non-comment"):
+            parse_gset("3 1\n1 2 1\n2 3 1\n1 3 1\n")
+
+    def test_header_body_mismatch_names_both_counts(self):
+        with pytest.raises(ValueError, match="expected 5 edge lines, found 1"):
+            parse_gset("3 5\n1 2 1\n")
+
     def test_round_trip(self):
         p = generate_random(12, 20, weighted=True, seed=5)
         text = write_gset(p)
