@@ -29,11 +29,18 @@ from repro.arch.result import CimRunResult
 from repro.circuits.crossbar import DgFefetCrossbar
 from repro.core.annealer import InSituAnnealer
 from repro.core.factors import FractionalFactor, VbgEncoder
+from repro.core.reorder import (
+    REORDER_MODES,
+    Permutation,
+    graph_bandwidth,
+    reorder_permutation,
+)
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.devices.variability import VariationModel
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel, dense_couplings
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_choice
 
 
 class InSituCimAnnealer:
@@ -61,6 +68,29 @@ class InSituCimAnnealer:
         is sharded straight from its CSR arrays; neither the coupling
         matrix nor the stored image is ever densified, so 100k+-node
         low-degree instances fit in O(nnz + active-tile cells) memory.
+    reorder:
+        Bandwidth-reducing spin reordering applied to the *internal*
+        crossbar layout before tiling: ``"none"`` (default), ``"rcm"``
+        (Reverse Cuthill–McKee) or ``"auto"`` (reorder only when it
+        strictly reduces the estimated active-tile count; greedy degree
+        fallback).  Purely a layout optimisation — proposals are drawn in
+        the caller's spin order and configurations are returned in it, so
+        results are bit-identical to the unreordered machine whenever the
+        stored image is exactly representable (all ±1-weighted G-sets).
+        ``"rcm"`` requires ``tile_size`` (a monolithic crossbar has no
+        tile grid to compact); ``"auto"`` quietly resolves to the identity
+        without one.  The resulting ordering and bandwidth are reported in
+        :attr:`mapping` and the :class:`Permutation` is kept on
+        :attr:`permutation`.
+    permutation:
+        Explicit internal layout: a pre-computed
+        :class:`~repro.core.reorder.Permutation` (or raw ``forward``
+        array) to store the matrix under, instead of running a reordering
+        pass.  Mutually exclusive with ``reorder``; requires ``tile_size``.
+        The same transparency contract applies — for exactly-representable
+        images, *any* declared layout yields the identical trajectory, so
+        this is how layout-independence is asserted at scales where the
+        identity ordering itself is too expensive to program.
     use_encoder:
         When True, temperatures are mapped to the 10 mV BG grid through a
         :class:`VbgEncoder` built from the crossbar's own transfer curve
@@ -84,6 +114,8 @@ class InSituCimAnnealer:
         backend: str = "behavioral",
         variation: VariationModel | None = None,
         tile_size: int | None = None,
+        reorder: str | None = None,
+        permutation=None,
         use_encoder: bool = True,
         record_cost_trace: bool = False,
         record_trace: bool = False,
@@ -96,15 +128,53 @@ class InSituCimAnnealer:
             )
         self.config = config or HardwareConfig.proposed()
         self.factor = factor or FractionalFactor()
+        reorder = check_choice(
+            "reorder", "none" if reorder is None else reorder, REORDER_MODES
+        )
+        if reorder == "rcm" and tile_size is None:
+            raise ValueError(
+                "reorder='rcm' optimises the tile grid and needs "
+                "tile_size=...; a monolithic crossbar programs the full "
+                "array either way (use reorder='auto' to make it a no-op)"
+            )
+        if permutation is not None:
+            if reorder != "none":
+                raise ValueError(
+                    "pass either reorder= or an explicit permutation=, "
+                    "not both"
+                )
+            if tile_size is None:
+                raise ValueError(
+                    "an explicit permutation= layout requires tile_size=..."
+                )
+        self.reorder = reorder
+        self.permutation = None
         rng = ensure_rng(seed)
         is_sparse = isinstance(model, SparseIsingModel)
         if tile_size is not None:
             from repro.arch.tiling import TiledCrossbar
 
+            # Bandwidth-reducing relabelling of the *stored* layout: the
+            # scattered edge set is compacted onto few block diagonals so
+            # the sparse tile registry stays proportional to nnz, not to
+            # the grid.  The controller keeps working in the caller's
+            # ordering (see the annealer's `permutation` contract).
+            hw_input = model
+            perm = None
+            if permutation is not None:
+                perm = (
+                    permutation if isinstance(permutation, Permutation)
+                    else Permutation(permutation)
+                )
+            elif reorder != "none":
+                perm = reorder_permutation(model, reorder, tile_size=tile_size)
+            if perm is not None:
+                hw_input = model.permuted(perm)
+                self.permutation = perm
             # Tiles are extracted block-by-block, so a sparse model is fed
             # straight through — the dense (n, n) matrix is never formed.
             self.crossbar = TiledCrossbar(
-                model if is_sparse else dense_couplings(model),
+                hw_input if is_sparse else dense_couplings(hw_input),
                 tile_size=tile_size,
                 bits=self.config.quantization_bits,
                 backend=backend,
@@ -115,21 +185,38 @@ class InSituCimAnnealer:
             )
             # Per-tile geometry — the physical array is the tile, not a
             # monolithic n-row crossbar assembled from the full matrix.
+            if perm is None:
+                ordering, bandwidth = "identity", graph_bandwidth(model)
+            else:
+                ordering = perm.strategy
+                bandwidth = (
+                    perm.bandwidth_after if perm.bandwidth_after is not None
+                    else graph_bandwidth(hw_input)
+                )
             self.mapping = CrossbarMapping.for_tiled(
-                self.crossbar, self.config.adc.mux_ratio
+                self.crossbar, self.config.adc.mux_ratio,
+                ordering=ordering, bandwidth=bandwidth,
             )
             # The algorithmic model the controller believes in: the
             # *stored* image, kept on the model's own coupling backend so
             # the controller's field cache stays O(nnz) for sparse inputs.
+            # With a reordering in play the annealer runs against the
+            # hardware-ordered image while `hw_model` is published in the
+            # caller's ordering (quantization is element-wise, so the two
+            # are exact relabellings of each other).
             if is_sparse:
-                self.hw_model = self.crossbar.stored_model(
+                stored = self.crossbar.stored_model(
                     offset=model.offset, name=model.name
                 )
             else:
-                self.hw_model = IsingModel(
+                stored = IsingModel(
                     self.crossbar.matrix_hat, None,
                     offset=model.offset, name=model.name,
                 )
+            self._annealer_model = stored
+            self.hw_model = (
+                stored if perm is None else stored.permuted(perm.inverse)
+            )
         else:
             # A single physical crossbar programs every cell, so the
             # monolithic machine densifies sparse models here (solver-only
@@ -151,6 +238,7 @@ class InSituCimAnnealer:
             self.hw_model = IsingModel(
                 self.crossbar.matrix_hat, None, offset=model.offset, name=model.name
             )
+            self._annealer_model = self.hw_model
         encoder = None
         if use_encoder:
             encoder = VbgEncoder(self.factor, transfer=self.crossbar.factor)
@@ -158,7 +246,7 @@ class InSituCimAnnealer:
         self.flips_per_iteration = int(flips_per_iteration)
         self.record_cost_trace = bool(record_cost_trace)
         self._annealer = InSituAnnealer(
-            self.hw_model,
+            self._annealer_model,
             flips_per_iteration=flips_per_iteration,
             factor=self.factor,
             schedule=schedule,
@@ -167,6 +255,7 @@ class InSituCimAnnealer:
             evaluator=self._evaluate,
             proposal=proposal,
             iteration_hook=self._book_iteration,
+            permutation=self.permutation,
             record_trace=record_trace,
             seed=rng,
         )

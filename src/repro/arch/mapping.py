@@ -29,18 +29,31 @@ class CrossbarMapping:
         1 when the matrix is non-negative, 2 when a negative plane exists.
     mux_ratio:
         Columns per ADC.
+    ordering:
+        Spin-ordering strategy the stored layout uses (``"identity"``, or
+        a reordering pass such as ``"rcm"`` — see
+        :mod:`repro.core.reorder`).
+    bandwidth:
+        Matrix bandwidth ``max |i − j|`` of the stored couplings in that
+        ordering, when known.  Together with ``ordering`` this is the
+        layout half of the mapping story: the tile count a sparse grid
+        programs scales with the bandwidth, not just with nnz.
     """
 
     num_spins: int
     bits: int
     planes: int
     mux_ratio: int = 8
+    ordering: str = "identity"
+    bandwidth: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_spins < 1 or self.bits < 1 or self.planes not in (1, 2):
             raise ValueError("invalid mapping geometry")
         if self.mux_ratio < 1:
             raise ValueError("mux_ratio must be >= 1")
+        if self.bandwidth is not None and self.bandwidth < 0:
+            raise ValueError("bandwidth must be >= 0")
 
     @classmethod
     def for_matrix(cls, matrix: np.ndarray, bits: int, mux_ratio: int = 8) -> "CrossbarMapping":
@@ -49,7 +62,13 @@ class CrossbarMapping:
         return cls(np.asarray(matrix).shape[0], bits, planes, mux_ratio)
 
     @classmethod
-    def for_tiled(cls, tiled, mux_ratio: int = 8) -> "CrossbarMapping":
+    def for_tiled(
+        cls,
+        tiled,
+        mux_ratio: int = 8,
+        ordering: str = "identity",
+        bandwidth: int | None = None,
+    ) -> "CrossbarMapping":
         """Per-tile geometry of a :class:`~repro.arch.tiling.TiledCrossbar`.
 
         A tiled machine's physical array is the *tile* — ``tile_size`` rows
@@ -57,8 +76,32 @@ class CrossbarMapping:
         so the mapping describes one tile rather than a (nonexistent)
         monolithic ``n``-row array.  Derived from the tile registry alone;
         the full coupling matrix is never consulted, let alone densified.
+        ``ordering``/``bandwidth`` record the spin layout the tiles were
+        cut from (the machines pass the reordering pass's report through).
         """
-        return cls(tiled.tile_size, tiled.bits, tiled.planes, mux_ratio)
+        return cls(
+            tiled.tile_size, tiled.bits, tiled.planes, mux_ratio,
+            ordering=ordering, bandwidth=bandwidth,
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Geometry + layout report of the programmed array.
+
+        Everything a sizing study needs in one dict: the physical array
+        dimensions and ADC population, plus the spin ordering and matrix
+        bandwidth the stored layout realises.
+        """
+        return {
+            "num_spins": self.num_spins,
+            "bits": self.bits,
+            "planes": self.planes,
+            "mux_ratio": self.mux_ratio,
+            "num_columns": self.num_columns,
+            "num_adcs": self.num_adcs,
+            "num_cells": self.num_cells,
+            "ordering": self.ordering,
+            "bandwidth": self.bandwidth,
+        }
 
     @property
     def num_columns(self) -> int:

@@ -50,6 +50,7 @@ def _cmd_solve(args) -> int:
         reference_cut=reference,
         backend=args.backend,
         tile_size=args.tile_size,
+        reorder=args.reorder,
         flips_per_iteration=args.flips,
     )
     print(result.summary())
@@ -171,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solve on the tiled crossbar machine with S-row "
                             "arrays (insitu only; sparse models shard from "
                             "CSR without densifying)")
+    solve.add_argument("--reorder", choices=("none", "rcm", "auto"),
+                       default="none",
+                       help="bandwidth-reducing spin reordering ahead of "
+                            "tiling (rcm = Reverse Cuthill-McKee; auto "
+                            "reorders only when it shrinks the layout); "
+                            "solutions are mapped back to the input order")
     solve.add_argument("--iterations", type=int, default=10_000)
     solve.add_argument("--flips", type=int, default=1)
     solve.add_argument("--seed", type=int, default=0)

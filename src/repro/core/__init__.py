@@ -5,6 +5,7 @@
   exponential factor, fitting, and the temperature→V_BG encoder;
 * :mod:`repro.core.schedule` — back-gate and conventional schedules;
 * :mod:`repro.core.coupling` — backend-agnostic coupling ops (dense/CSR);
+* :mod:`repro.core.reorder` — bandwidth-reducing spin reordering (RCM);
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
 * :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
 * :mod:`repro.core.solver` — one-call high-level API.
@@ -38,6 +39,15 @@ from repro.core.incremental import (
     num_product_terms,
 )
 from repro.core.mesa import MesaAnnealer
+from repro.core.reorder import (
+    REORDER_MODES,
+    Permutation,
+    count_active_tiles,
+    degree_permutation,
+    graph_bandwidth,
+    rcm_permutation,
+    reorder_permutation,
+)
 from repro.core.results import AnnealResult, MaxCutResult
 from repro.core.sa import DirectEAnnealer, estimate_temperature_range
 from repro.core.schedule import (
@@ -74,6 +84,13 @@ __all__ = [
     "auto_acceptance_scale",
     "DenseCouplingOps",
     "SparseCouplingOps",
+    "Permutation",
+    "REORDER_MODES",
+    "reorder_permutation",
+    "rcm_permutation",
+    "degree_permutation",
+    "graph_bandwidth",
+    "count_active_tiles",
     "flip_mask",
     "apply_flips",
     "decompose",

@@ -35,7 +35,7 @@ from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_spin_vector
+from repro.utils.validation import check_permutation, check_spin_vector
 
 
 class InSituAnnealer:
@@ -76,6 +76,15 @@ class InSituAnnealer:
         Optional callable ``hook(iteration, delta_e, accepted, temperature)``
         fired after each accept decision; the hardware machines use it to
         book per-iteration costs.
+    permutation:
+        Optional :class:`~repro.core.reorder.Permutation` (or raw
+        ``forward`` array) declaring that ``model`` is a relabelled view of
+        the caller's problem.  Proposal indices and the initial
+        configuration are drawn in the caller's *original* spin space and
+        mapped through the permutation, and the returned configurations are
+        mapped back — so the RNG stream, accept decisions and results are
+        layout-independent (bit-identical to the unpermuted solve for
+        dyadic couplings, where all sums are exact in any order).
     track_best / record_trace:
         Bookkeeping switches.
     seed:
@@ -95,6 +104,7 @@ class InSituAnnealer:
         evaluator=None,
         proposal: str = "scan",
         iteration_hook=None,
+        permutation=None,
         track_best: bool = True,
         record_trace: bool = False,
         seed=None,
@@ -118,6 +128,11 @@ class InSituAnnealer:
         self.evaluator = evaluator
         self.proposal = proposal
         self.iteration_hook = iteration_hook
+        self.permutation = permutation
+        if permutation is None:
+            self._fwd = self._bwd = None
+        else:
+            self._fwd, self._bwd = check_permutation(permutation, self.n)
         self.track_best = bool(track_best)
         self.record_trace = bool(record_trace)
         self._rng = ensure_rng(seed)
@@ -161,6 +176,10 @@ class InSituAnnealer:
             sigma = self.model.random_configuration(rng).astype(np.float64)
         else:
             sigma = check_spin_vector(initial, self.n).astype(np.float64)
+        if self._bwd is not None:
+            # Both the random draw and a caller-supplied `initial` are in
+            # the original spin space; gather into the internal ordering.
+            sigma = sigma[self._bwd]
         g = ops.local_fields(sigma)
         energy = float(sigma @ g + h @ sigma) + self.model.offset
         best_energy = energy
@@ -173,7 +192,7 @@ class InSituAnnealer:
         best_trace = np.empty(iterations, dtype=np.float64) if self.record_trace else None
         vbg_fn = getattr(schedule, "vbg", None)
         has_fields = self.model.has_fields
-        selector = FlipSelector(self.n, t, self.proposal, rng)
+        selector = FlipSelector(self.n, t, self.proposal, rng, index_map=self._fwd)
 
         for it in range(iterations):
             temperature = schedule.temperature(it)
@@ -233,6 +252,10 @@ class InSituAnnealer:
         if not self.track_best or energy < best_energy:
             best_energy = energy
             best_sigma = sigma.copy()
+        if self._fwd is not None:
+            # Hand configurations back in the caller's original ordering.
+            sigma = sigma[self._fwd]
+            best_sigma = best_sigma[self._fwd]
         return AnnealResult(
             solver=self.name,
             sigma=sigma.astype(np.int8),

@@ -20,6 +20,7 @@ from repro.core.schedule import GeometricSchedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_permutation
 
 
 class MesaAnnealer:
@@ -35,6 +36,13 @@ class MesaAnnealer:
         Number of cooling passes.
     epoch_decay:
         Multiplier applied to the starting temperature of each new epoch.
+    permutation:
+        Optional :class:`~repro.core.reorder.Permutation` declaring that
+        ``model`` is a relabelled view of the caller's problem; forwarded
+        to the temperature auto-tuner and every inner SA pass, so the
+        whole multi-epoch trajectory is layout-independent (epoch restarts
+        hand the best-so-far configuration around in the caller's original
+        ordering either way).
     flips_per_iteration / seed:
         Forwarded to the inner SA passes.
     """
@@ -47,6 +55,7 @@ class MesaAnnealer:
         epochs: int = 4,
         epoch_decay: float = 0.5,
         flips_per_iteration: int = 1,
+        permutation=None,
         seed=None,
     ) -> None:
         if epochs < 1:
@@ -57,6 +66,9 @@ class MesaAnnealer:
         self.epochs = int(epochs)
         self.epoch_decay = float(epoch_decay)
         self.flips_per_iteration = int(flips_per_iteration)
+        self.permutation = permutation
+        if permutation is not None:
+            check_permutation(permutation, model.num_spins)
         self._rng = ensure_rng(seed)
 
     def run(self, iterations: int, initial=None) -> AnnealResult:
@@ -64,7 +76,9 @@ class MesaAnnealer:
         if iterations < self.epochs:
             raise ValueError("iterations must be >= epochs")
         per_epoch = iterations // self.epochs
-        t_start, t_end = estimate_temperature_range(self.model, seed=self._rng)
+        t_start, t_end = estimate_temperature_range(
+            self.model, seed=self._rng, permutation=self.permutation
+        )
 
         sigma = initial
         best_sigma = None
@@ -85,6 +99,7 @@ class MesaAnnealer:
                 self.model,
                 flips_per_iteration=self.flips_per_iteration,
                 schedule=schedule,
+                permutation=self.permutation,
                 seed=self._rng,
             )
             last = inner.run(budget, initial=sigma)

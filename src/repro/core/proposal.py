@@ -31,9 +31,21 @@ class FlipSelector:
         ``"scan"`` or ``"random"`` (see module docstring).
     rng:
         Source of randomness (permutation shuffling / uniform draws).
+    index_map:
+        Optional length-``n`` array applied to every drawn index before it
+        is returned.  Used by reordered solves: indices are drawn in the
+        caller's original spin space (so the RNG stream is layout-
+        independent) and mapped into the internal ordering here.
     """
 
-    def __init__(self, n: int, flips: int, mode: str, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        n: int,
+        flips: int,
+        mode: str,
+        rng: np.random.Generator,
+        index_map: np.ndarray | None = None,
+    ) -> None:
         if mode not in PROPOSAL_MODES:
             raise ValueError(f"proposal mode must be one of {PROPOSAL_MODES}")
         if not 1 <= flips <= n:
@@ -42,6 +54,11 @@ class FlipSelector:
         self.flips = int(flips)
         self.mode = mode
         self._rng = rng
+        if index_map is not None:
+            index_map = np.asarray(index_map, dtype=np.intp)
+            if index_map.shape != (self.n,):
+                raise ValueError(f"index_map must have shape ({self.n},)")
+        self.index_map = index_map
         self._order: np.ndarray | None = None
         self._ptr = 0
 
@@ -49,12 +66,18 @@ class FlipSelector:
         """Return the next flip-index set (length ``flips``, unique)."""
         if self.mode == "random":
             if self.flips == 1:
-                return np.array([self._rng.integers(self.n)], dtype=np.intp)
-            return self._rng.choice(self.n, size=self.flips, replace=False).astype(np.intp)
-        # scan mode: consume a permuted order, reshuffling per sweep.
-        if self._order is None or self._ptr + self.flips > self.n:
-            self._order = self._rng.permutation(self.n)
-            self._ptr = 0
-        out = self._order[self._ptr : self._ptr + self.flips]
-        self._ptr += self.flips
-        return out.astype(np.intp)
+                out = np.array([self._rng.integers(self.n)], dtype=np.intp)
+            else:
+                out = self._rng.choice(
+                    self.n, size=self.flips, replace=False
+                ).astype(np.intp)
+        else:
+            # scan mode: consume a permuted order, reshuffling per sweep.
+            if self._order is None or self._ptr + self.flips > self.n:
+                self._order = self._rng.permutation(self.n)
+                self._ptr = 0
+            out = self._order[self._ptr : self._ptr + self.flips].astype(np.intp)
+            self._ptr += self.flips
+        if self.index_map is not None:
+            out = self.index_map[out]
+        return out

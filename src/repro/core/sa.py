@@ -24,7 +24,7 @@ from repro.core.schedule import GeometricSchedule, Schedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_spin_vector
+from repro.utils.validation import check_permutation, check_spin_vector
 
 
 def estimate_temperature_range(
@@ -33,19 +33,28 @@ def estimate_temperature_range(
     p_start: float = 0.8,
     p_end: float = 0.002,
     seed=None,
+    permutation=None,
 ) -> tuple[float, float]:
     """Standard SA temperature auto-tuning.
 
     Samples single-flip |ΔE| from a random configuration and picks
     ``T_start``/``T_end`` so a mean uphill move is accepted with probability
-    ``p_start`` at the beginning and ``p_end`` at the end.
+    ``p_start`` at the beginning and ``p_end`` at the end.  When ``model``
+    is a relabelled view (see :class:`DirectEAnnealer`'s ``permutation``),
+    the configuration and sample indices are drawn in the original spin
+    space and mapped through the permutation, so the estimate — and the
+    RNG stream — match the unpermuted model's exactly.
     """
     if not 0 < p_end < p_start < 1:
         raise ValueError("need 0 < p_end < p_start < 1")
     rng = ensure_rng(seed)
     sigma = model.random_configuration(rng)
-    g = model.local_fields(sigma)
     idx = rng.integers(model.num_spins, size=samples)
+    if permutation is not None:
+        fwd, bwd = check_permutation(permutation, model.num_spins)
+        sigma = sigma[bwd]
+        idx = fwd[idx]
+    g = model.local_fields(sigma)
     deltas = np.array(
         [model.delta_energy_single(sigma, int(i), g) for i in idx]
     )
@@ -75,6 +84,12 @@ class DirectEAnnealer:
     iteration_hook:
         Optional ``hook(iteration, delta_e, accepted, temperature)`` fired
         after each accept decision (hardware cost booking).
+    permutation:
+        Optional :class:`~repro.core.reorder.Permutation` declaring that
+        ``model`` is a relabelled view of the caller's problem; proposals
+        and the initial configuration are drawn in the original spin space
+        and results are mapped back (see
+        :class:`repro.core.annealer.InSituAnnealer`).
     track_best / record_trace / seed:
         As in :class:`repro.core.annealer.InSituAnnealer`.
     """
@@ -88,6 +103,7 @@ class DirectEAnnealer:
         schedule: Schedule | None = None,
         proposal: str = "random",
         iteration_hook=None,
+        permutation=None,
         track_best: bool = True,
         record_trace: bool = False,
         seed=None,
@@ -102,6 +118,11 @@ class DirectEAnnealer:
         self.schedule = schedule
         self.proposal = proposal
         self.iteration_hook = iteration_hook
+        self.permutation = permutation
+        if permutation is None:
+            self._fwd = self._bwd = None
+        else:
+            self._fwd, self._bwd = check_permutation(permutation, self.n)
         self.track_best = bool(track_best)
         self.record_trace = bool(record_trace)
         self._rng = ensure_rng(seed)
@@ -111,7 +132,9 @@ class DirectEAnnealer:
             if self.schedule.iterations != iterations:
                 raise ValueError("schedule length does not match iterations")
             return self.schedule
-        t_start, t_end = estimate_temperature_range(self.model, seed=self._rng)
+        t_start, t_end = estimate_temperature_range(
+            self.model, seed=self._rng, permutation=self.permutation
+        )
         return GeometricSchedule(iterations, t_start, t_end)
 
     def run(self, iterations: int, initial=None) -> AnnealResult:
@@ -129,6 +152,10 @@ class DirectEAnnealer:
             sigma = self.model.random_configuration(rng).astype(np.float64)
         else:
             sigma = check_spin_vector(initial, self.n).astype(np.float64)
+        if self._bwd is not None:
+            # Both the random draw and a caller-supplied `initial` are in
+            # the original spin space; gather into the internal ordering.
+            sigma = sigma[self._bwd]
         g = ops.local_fields(sigma)
         energy = float(sigma @ g + h @ sigma) + self.model.offset
         best_energy = energy
@@ -140,7 +167,7 @@ class DirectEAnnealer:
         exponent_evaluations = 0
         trace = np.empty(iterations, dtype=np.float64) if self.record_trace else None
         best_trace = np.empty(iterations, dtype=np.float64) if self.record_trace else None
-        selector = FlipSelector(self.n, t, self.proposal, rng)
+        selector = FlipSelector(self.n, t, self.proposal, rng, index_map=self._fwd)
 
         for it in range(iterations):
             temperature = schedule.temperature(it)
@@ -175,6 +202,10 @@ class DirectEAnnealer:
         if not self.track_best or energy < best_energy:
             best_energy = energy
             best_sigma = sigma.copy()
+        if self._fwd is not None:
+            # Hand configurations back in the caller's original ordering.
+            sigma = sigma[self._fwd]
+            best_sigma = best_sigma[self._fwd]
         return AnnealResult(
             solver=self.name,
             sigma=sigma.astype(np.int8),

@@ -27,7 +27,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_spin_vector, check_square_symmetric
+from repro.utils.validation import (
+    check_permutation,
+    check_spin_vector,
+    check_square_symmetric,
+)
 
 
 @dataclass
@@ -181,6 +185,23 @@ class IsingModel:
             self._J * factor,
             self._h * factor if self.has_fields else None,
             offset=self.offset * factor,
+            name=self.name,
+        )
+
+    def permuted(self, perm) -> "IsingModel":
+        """Relabel the spins through a permutation.
+
+        Dense counterpart of :meth:`SparseIsingModel.permuted`: ``perm`` is
+        a :class:`~repro.core.reorder.Permutation` (or a raw ``forward``
+        array) and entry ``(i, j)`` moves to ``(forward[i], forward[j])``.
+        Values are gathered, never recomputed, so the round trip through
+        ``perm.inverse`` is exact.
+        """
+        _, bwd = check_permutation(perm, self.num_spins)
+        return IsingModel(
+            self._J[np.ix_(bwd, bwd)],
+            self._h[bwd] if self.has_fields else None,
+            offset=self.offset,
             name=self.name,
         )
 

@@ -48,6 +48,46 @@ def check_count(name: str, value, minimum: int = 1, hint: str = "") -> int:
     return value
 
 
+def check_choice(name: str, value, choices) -> str:
+    """Validate a string-valued mode parameter against its choice set.
+
+    Raises ``ValueError`` naming the full choice set — unknown mode names
+    (``backend="csr"``, ``reorder="zigzag"``) fail at the API boundary
+    with the valid spellings instead of deep inside a dispatch table.
+    """
+    if not isinstance(value, str) or value not in choices:
+        raise ValueError(
+            f"unknown {name} {value!r}; choose from {sorted(choices)}"
+        )
+    return value
+
+
+def check_permutation(perm, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a spin permutation and return ``(forward, backward)`` arrays.
+
+    ``perm`` is either a raw array-like or any object exposing a
+    ``forward`` attribute (e.g. :class:`repro.core.reorder.Permutation`).
+    ``forward[old] = new`` maps original spin indices to reordered
+    positions; ``backward`` is its inverse (``backward[new] = old``).
+    """
+    fwd = np.asarray(getattr(perm, "forward", perm), dtype=np.intp)
+    if fwd.ndim != 1 or fwd.shape[0] != n:
+        raise ValueError(
+            f"permutation must be a 1-D array of length {n}, got shape "
+            f"{fwd.shape}"
+        )
+    if fwd.size and (fwd.min() < 0 or fwd.max() >= n):
+        raise ValueError(f"permutation entries must lie in [0, {n})")
+    if np.any(np.bincount(fwd, minlength=n) != 1):
+        raise ValueError(
+            "permutation must map each spin to a distinct position "
+            "(duplicate or missing targets found)"
+        )
+    bwd = np.empty(n, dtype=np.intp)
+    bwd[fwd] = np.arange(n, dtype=np.intp)
+    return fwd, bwd
+
+
 def check_probability(name: str, value: float) -> float:
     """Validate that ``value`` lies in the closed interval [0, 1]."""
     value = float(value)

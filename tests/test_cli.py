@@ -76,6 +76,35 @@ class TestCommands:
         assert code == 0
         assert "best cut" in capsys.readouterr().out
 
+    def test_solve_with_reordering(self, instance_file, capsys):
+        """Every reorder mode solves through the CLI and agrees on the cut.
+
+        The instance's ±1 weights store exactly, so the reordered tiled
+        runs must report the identical best cut as the unreordered one.
+        """
+        cuts = []
+        for reorder in ("none", "rcm", "auto"):
+            code = main(
+                ["solve", instance_file, "--iterations", "300", "--tile-size",
+                 "16", "--backend", "sparse", "--seed", "5",
+                 "--reorder", reorder]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            cuts.append(out.strip().splitlines()[-1])
+        assert cuts[0] == cuts[1] == cuts[2]
+
+    def test_solve_reorder_without_tiles_on_software_solver(self, instance_file):
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--method", "sa",
+             "--reorder", "rcm", "--seed", "5"]
+        )
+        assert code == 0
+
+    def test_solve_rejects_unknown_reorder(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["solve", instance_file, "--reorder", "zigzag"])
+
     def test_tile_size_rejected_for_non_insitu(self, instance_file, capsys):
         code = main(
             ["solve", instance_file, "--iterations", "300", "--tile-size",
@@ -177,6 +206,39 @@ class TestSolveBoundaryValidation:
             solve_ising(model, backend="csr")
         with pytest.raises(ValueError, match="unknown backend 'csr'"):
             solve_maxcut(problem, backend="csr")
+
+    def test_boolean_tile_size_rejected(self, model, problem):
+        """``tile_size=True`` must not silently run with 1-row tiles."""
+        with pytest.raises(ValueError, match="tile_size must be an integer"):
+            solve_ising(model, tile_size=True)
+        with pytest.raises(ValueError, match="tile_size must be an integer"):
+            solve_maxcut(problem, tile_size=True)
+
+    def test_non_positive_tile_size_rejected(self, model, problem):
+        for bad in (0, -4, 1):
+            with pytest.raises(ValueError, match="tile_size must be >= 2"):
+                solve_ising(model, tile_size=bad)
+            with pytest.raises(ValueError, match="tile_size must be >= 2"):
+                solve_maxcut(problem, tile_size=bad)
+
+    def test_unknown_reorder_raises(self, model, problem):
+        with pytest.raises(ValueError, match="unknown reorder 'zigzag'"):
+            solve_ising(model, reorder="zigzag")
+        with pytest.raises(ValueError, match="unknown reorder 'zigzag'"):
+            solve_maxcut(problem, reorder="zigzag")
+        # "degree" is an internal fallback strategy, not a public knob
+        with pytest.raises(ValueError, match="unknown reorder 'degree'"):
+            solve_ising(model, reorder="degree")
+
+    def test_reorder_accepts_none_and_modes(self, model):
+        for reorder in (None, "none", "rcm", "auto"):
+            r = solve_ising(model, iterations=60, seed=2, reorder=reorder)
+            assert r.iterations == 60
+
+    def test_reorder_conflicts_with_explicit_permutation(self, model):
+        perm = np.arange(model.num_spins)[::-1].copy()
+        with pytest.raises(ValueError, match="not both"):
+            solve_ising(model, reorder="rcm", permutation=perm)
 
     def test_backend_override_solves(self, model):
         r = solve_ising(model, iterations=100, seed=3, backend="sparse")

@@ -115,6 +115,30 @@ class TestTiledMachineGoldens:
         assert mono.anneal.best_energy == energy
         assert mono.anneal.accepted == accepted
 
+    #: The reordered tiled machine pins the *same* values as GOLDEN_TILED:
+    #: reordering is an internal layout change and ±1 weights store
+    #: exactly, so the quantized image's representability story — and the
+    #: whole fixed-seed trajectory — is unchanged.  Pinned separately so a
+    #: regression that splits the two paths is caught by name.
+    GOLDEN_TILED_REORDERED = (46.0, -48.0, 173)
+
+    @pytest.mark.parametrize("reorder", ["rcm", "auto"])
+    def test_pinned_reordered_machine_run(self, golden_problem, reorder):
+        cut, energy, accepted = self.GOLDEN_TILED_REORDERED
+        assert self.GOLDEN_TILED_REORDERED == self.GOLDEN_TILED
+        result = solve_maxcut(
+            golden_problem,
+            iterations=1600,
+            seed=2024,
+            backend="sparse",
+            tile_size=16,
+            reorder=reorder,
+        )
+        assert result.best_cut == cut
+        assert result.anneal.best_energy == energy
+        assert result.anneal.accepted == accepted
+        assert golden_problem.cut_value(result.anneal.best_sigma) == cut
+
 
 class TestIsingGoldens:
     @pytest.mark.parametrize("method", sorted(GOLDEN_ISING))

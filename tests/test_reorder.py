@@ -1,0 +1,355 @@
+"""Permutation-equivalence harness for the spin-reordering subsystem.
+
+Reordering must be *unobservable* to callers: solving a relabelled model
+(with the relabelling declared) is bit-identical to solving the original,
+couplings and energies round-trip exactly through the inverse permutation,
+and the tiled machine returns the same pinned results with ``reorder="rcm"``
+as with ``"none"`` — only the tile registry (and hence the hardware cost)
+changes.  All bit-for-bit assertions use dyadic-rational couplings
+(integers / 8), for which every floating-point sum involved is exact in
+any summation order, so the equalities are arithmetic facts rather than
+platform luck — the same contract the backend-equivalence suite pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import InSituCimAnnealer, TiledCrossbar
+from repro.core import (
+    Permutation,
+    count_active_tiles,
+    degree_permutation,
+    graph_bandwidth,
+    rcm_permutation,
+    reorder_permutation,
+    solve_ising,
+)
+from repro.ising import IsingModel, SparseIsingModel
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingModel:
+    """Seeded random sparse model with exactly-representable couplings."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 40))
+    m = int(rng.integers(n, 3 * n))
+    pairs = rng.choice(n * (n - 1) // 2, size=min(m, n * (n - 1) // 2), replace=False)
+    rows, cols = np.triu_indices(n, k=1)
+    r, c = rows[pairs], cols[pairs]
+    vals = rng.integers(-8, 9, size=r.size) / 8.0
+    keep = vals != 0
+    h = rng.integers(-8, 9, size=n) / 8.0 if with_fields else None
+    return SparseIsingModel.from_edges(
+        n, r[keep], c[keep], vals[keep], h, offset=0.25, name=f"dyadic-{n}"
+    )
+
+
+def random_permutation(n: int, seed: int) -> Permutation:
+    return Permutation(np.random.default_rng(seed).permutation(n))
+
+
+def scattered_circulant(n: int, seed: int = 99) -> SparseIsingModel:
+    """A degree-6 circulant with randomly relabelled nodes.
+
+    The underlying graph is perfectly banded (bandwidth 3 in its natural
+    order); the relabelling scatters its edges over the whole matrix —
+    exactly the layout problem RCM is meant to undo.
+    """
+    rng = np.random.default_rng(seed)
+    base = np.arange(n)
+    u = np.concatenate([base, base, base])
+    v = np.concatenate([(base + k) % n for k in (1, 2, 3)])
+    r, c = np.minimum(u, v), np.maximum(u, v)
+    w = rng.choice(np.array([-1.0, 1.0]), size=r.size) / 4.0
+    relabel = rng.permutation(n)
+    return SparseIsingModel.from_edges(
+        n, relabel[r], relabel[c], w, name=f"scattered-circulant-{n}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Model-level properties
+# ----------------------------------------------------------------------
+class TestPermutedModels:
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_round_trip_is_exact(self, seed):
+        """``permuted(p).permuted(p.inverse)`` returns the identical model."""
+        model = dyadic_sparse_model(seed, with_fields=True)
+        p = random_permutation(model.num_spins, seed + 1)
+        back = model.permuted(p).permuted(p.inverse)
+        for a, b in zip(model.csr_arrays(), back.csr_arrays()):
+            assert np.array_equal(a, b)
+        assert np.array_equal(model.h, back.h)
+        assert back.offset == model.offset
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_dense_round_trip_is_exact(self, seed):
+        model = dyadic_sparse_model(seed, with_fields=True).to_dense()
+        p = random_permutation(model.num_spins, seed + 1)
+        back = model.permuted(p).permuted(p.inverse)
+        assert np.array_equal(model.J, back.J)
+        assert np.array_equal(model.h, back.h)
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_energy_and_fields_equivariant_bit_for_bit(self, seed):
+        """Dyadic sums are order-independent: relabelled energies coincide."""
+        model = dyadic_sparse_model(seed, with_fields=True)
+        p = random_permutation(model.num_spins, seed + 2)
+        permuted = model.permuted(p)
+        sigma = model.random_configuration(seed)
+        assert permuted.energy(p.permute_vector(sigma)) == model.energy(sigma)
+        assert np.array_equal(
+            p.restore_vector(permuted.local_fields(p.permute_vector(sigma))),
+            model.local_fields(sigma),
+        )
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_dense_and_sparse_permute_agree(self, seed):
+        model = dyadic_sparse_model(seed, with_fields=True)
+        p = random_permutation(model.num_spins, seed + 3)
+        assert np.array_equal(
+            model.permuted(p).toarray(), model.to_dense().permuted(p).J
+        )
+
+
+# ----------------------------------------------------------------------
+# Solver equivalence (the transparency contract)
+# ----------------------------------------------------------------------
+class TestSolverEquivalence:
+    @relaxed
+    @given(
+        seed=st.integers(0, 10_000),
+        method=st.sampled_from(["insitu", "sa", "mesa"]),
+    )
+    def test_declared_permutation_is_bit_identical(self, seed, method):
+        """``solve(model.permuted(p))`` mapped back == ``solve(model)``.
+
+        The permutation is declared to the solver, which draws proposals
+        in the original spin space and maps results back — so the entire
+        fixed-seed trajectory is the exact relabelled image of the
+        unpermuted run.
+        """
+        model = dyadic_sparse_model(seed, with_fields=True)
+        p = random_permutation(model.num_spins, seed + 4)
+        base = solve_ising(model, method=method, iterations=200, seed=7)
+        mapped = solve_ising(
+            model.permuted(p), method=method, iterations=200, seed=7,
+            permutation=p,
+        )
+        assert mapped.energy == base.energy
+        assert mapped.best_energy == base.best_energy
+        assert mapped.accepted == base.accepted
+        assert np.array_equal(mapped.sigma, base.sigma)
+        assert np.array_equal(mapped.best_sigma, base.best_sigma)
+
+    @relaxed
+    @given(
+        seed=st.integers(0, 10_000),
+        method=st.sampled_from(["insitu", "sa", "mesa"]),
+    )
+    def test_reorder_knob_is_bit_identical(self, seed, method):
+        """``reorder="rcm"`` never changes a software solver's output."""
+        model = dyadic_sparse_model(seed, with_fields=True)
+        base = solve_ising(model, method=method, iterations=200, seed=7)
+        reordered = solve_ising(
+            model, method=method, iterations=200, seed=7, reorder="rcm"
+        )
+        assert reordered.best_energy == base.best_energy
+        assert reordered.accepted == base.accepted
+        assert np.array_equal(reordered.sigma, base.sigma)
+        assert np.array_equal(reordered.best_sigma, base.best_sigma)
+
+    def test_multi_flip_trajectories_also_coincide(self):
+        model = dyadic_sparse_model(123)
+        p = random_permutation(model.num_spins, 5)
+        base = solve_ising(
+            model, iterations=150, seed=3, flips_per_iteration=3
+        )
+        mapped = solve_ising(
+            model.permuted(p), iterations=150, seed=3,
+            flips_per_iteration=3, permutation=p,
+        )
+        assert mapped.best_energy == base.best_energy
+        assert np.array_equal(mapped.best_sigma, base.best_sigma)
+
+
+# ----------------------------------------------------------------------
+# Tiled-machine equivalence + occupancy
+# ----------------------------------------------------------------------
+class TestTiledReordering:
+    def test_tiled_solve_bit_identical_under_rcm(self):
+        model = scattered_circulant(600)
+        base = solve_ising(model, iterations=400, seed=11, tile_size=32)
+        rcm = solve_ising(
+            model, iterations=400, seed=11, tile_size=32, reorder="rcm"
+        )
+        assert rcm.best_energy == base.best_energy
+        assert rcm.accepted == base.accepted
+        assert np.array_equal(rcm.best_sigma, base.best_sigma)
+
+    def test_fielded_model_ancilla_survives_reordering(self):
+        """Field fold → reorder → inverse map → ancilla strip round-trips.
+
+        The ancilla spin is pinned at its conventional position in the
+        *caller's* ordering; because the machine maps every configuration
+        back through the inverse permutation before the ancilla is
+        stripped, the internal position of the ancilla row is irrelevant.
+
+        Single-magnitude weights (J ∈ ±1/4, h ∈ ±1/2 so the folded ancilla
+        row is also ±1/4) keep the 4-bit stored image exactly representable
+        — the same representability story as the ±1-weighted G-sets — so
+        the machine comparison is bit-for-bit.
+        """
+        rng = np.random.default_rng(77)
+        n = 30
+        rows, cols = np.triu_indices(n, k=1)
+        keep = rng.random(rows.size) < 0.15
+        model = SparseIsingModel.from_edges(
+            n, rows[keep], cols[keep],
+            rng.choice([-0.25, 0.25], size=int(keep.sum())),
+            rng.choice([-0.5, 0.5], size=n),
+            name="fielded-single-magnitude",
+        )
+        base = solve_ising(model, iterations=300, seed=5, tile_size=8)
+        rcm = solve_ising(
+            model, iterations=300, seed=5, tile_size=8, reorder="rcm"
+        )
+        assert rcm.best_energy == base.best_energy
+        assert np.array_equal(rcm.best_sigma, base.best_sigma)
+        assert rcm.best_sigma.shape == (model.num_spins,)  # ancilla stripped
+
+    def test_estimated_tiles_matches_machine_exactly(self):
+        """The occupancy regression guard for the estimator heuristic."""
+        model = scattered_circulant(1200, seed=17)
+        tile = 64
+        perm = rcm_permutation(model)
+        identity_tiles = count_active_tiles(model, tile)
+        assert identity_tiles == TiledCrossbar(model, tile_size=tile).num_tiles
+        machine = InSituCimAnnealer(model, tile_size=tile, reorder="rcm", seed=0)
+        assert machine.permutation is not None
+        assert machine.crossbar.num_tiles == perm.estimated_active_tiles(tile)
+        assert machine.crossbar.num_tiles < identity_tiles
+
+    def test_rcm_recovers_banded_layout(self):
+        model = scattered_circulant(1500, seed=3)
+        perm = rcm_permutation(model)
+        assert perm.bandwidth_before > 100  # scattered on the way in
+        assert perm.bandwidth_after <= 16   # near the circulant's natural 3
+        assert perm.estimated_active_tiles(64) * 5 <= count_active_tiles(model, 64)
+
+    def test_auto_keeps_identity_when_already_banded(self):
+        """On an already-banded path graph, reordering cannot help.
+
+        (A circulant would not do here: its wrap-around edges give the
+        natural order bandwidth ``n − 1``, which RCM improves by cutting
+        the cycle.  A path's band is irreducible.)
+        """
+        rng = np.random.default_rng(0)
+        n = 400
+        u = np.concatenate([np.arange(n - 1), np.arange(n - 2)])
+        v = np.concatenate([np.arange(1, n), np.arange(2, n)])
+        model = SparseIsingModel.from_edges(
+            n, u, v, rng.choice([-0.25, 0.25], size=u.size),
+        )
+        assert reorder_permutation(model, "auto", tile_size=32) is None
+        machine = InSituCimAnnealer(model, tile_size=32, reorder="auto", seed=0)
+        assert machine.permutation is None
+        assert machine.mapping.ordering == "identity"
+
+    def test_auto_reorders_scattered_instances(self):
+        model = scattered_circulant(800, seed=9)
+        perm = reorder_permutation(model, "auto", tile_size=32)
+        assert perm is not None
+        machine = InSituCimAnnealer(model, tile_size=32, reorder="auto", seed=0)
+        assert machine.mapping.ordering == perm.strategy
+        assert machine.mapping.bandwidth == perm.bandwidth_after
+
+    def test_reordered_stored_image_is_exact_relabelling(self):
+        """hw_model (caller order) == unreordered machine's stored image."""
+        model = scattered_circulant(300, seed=21)
+        plain = InSituCimAnnealer(model, tile_size=16, seed=0)
+        rcm = InSituCimAnnealer(model, tile_size=16, reorder="rcm", seed=0)
+        a, b = plain.hw_model, rcm.hw_model
+        for x, y in zip(a.csr_arrays(), b.csr_arrays()):
+            assert np.array_equal(x, y)
+
+
+# ----------------------------------------------------------------------
+# Permutation object + reorder passes
+# ----------------------------------------------------------------------
+class TestPermutationObject:
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity
+        assert len(p) == 5
+        x = np.arange(5.0)
+        assert np.array_equal(p.permute_vector(x), x)
+
+    def test_inverse_composes_to_identity(self):
+        p = random_permutation(20, 1)
+        assert np.array_equal(p.forward[p.inverse.forward], np.arange(20))
+        x = np.random.default_rng(2).normal(size=20)
+        assert np.array_equal(p.restore_vector(p.permute_vector(x)), x)
+
+    def test_rejects_non_permutations(self):
+        with pytest.raises(ValueError, match="distinct position"):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError, match="lie in"):
+            Permutation([0, 1, 5])
+        with pytest.raises(ValueError, match="length 3"):
+            SparseIsingModel.from_edges(3, [0], [1], [0.5]).permuted([0, 1])
+
+    def test_estimated_tiles_requires_structure(self):
+        with pytest.raises(ValueError, match="no coupling structure"):
+            Permutation.identity(4).estimated_active_tiles(2)
+
+    def test_degree_ordering_sorts_ascending(self):
+        # star + pendant chain: the hub has max degree and must come last
+        model = SparseIsingModel.from_edges(
+            6, [0, 0, 0, 0, 1], [1, 2, 3, 4, 5], [0.5] * 5
+        )
+        perm = degree_permutation(model)
+        assert perm.forward[0] == 5  # hub (degree 4) placed last
+        assert perm.bandwidth_before == graph_bandwidth(model)
+
+    def test_inverse_estimates_tiles_of_the_permuted_model(self):
+        model = scattered_circulant(200, seed=31)
+        perm = rcm_permutation(model)
+        inv = perm.inverse
+        # Undoing the reordering from the permuted model restores the
+        # scattered occupancy.
+        assert inv.estimated_active_tiles(16) == count_active_tiles(model, 16)
+
+
+class TestReorderValidation:
+    def test_unknown_reorder_rejected_at_solve_boundary(self):
+        model = dyadic_sparse_model(1)
+        with pytest.raises(ValueError, match="unknown reorder 'zigzag'"):
+            solve_ising(model, reorder="zigzag")
+
+    def test_machine_rejects_rcm_without_tiles(self):
+        model = dyadic_sparse_model(2)
+        with pytest.raises(ValueError, match="tile_size"):
+            InSituCimAnnealer(model, reorder="rcm", seed=0)
+
+    def test_machine_auto_without_tiles_is_identity(self):
+        model = dyadic_sparse_model(3)
+        machine = InSituCimAnnealer(model, reorder="auto", seed=0)
+        assert machine.permutation is None
+
+    def test_reorder_permutation_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown reorder"):
+            reorder_permutation(dyadic_sparse_model(4), "zigzag")

@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.arch import CrossbarMapping, InSituCimAnnealer, TiledCrossbar
 from repro.circuits import DgFefetCrossbar
-from repro.core import solve_ising, solve_maxcut
+from repro.core import graph_bandwidth, solve_ising, solve_maxcut
 from repro.ising import IsingModel, MaxCutProblem, SparseIsingModel
 
 relaxed = settings(
@@ -274,10 +274,15 @@ class TestStoredModelAndMapping:
         machine = InSituCimAnnealer(model, tile_size=16, seed=0)
         assert isinstance(machine.hw_model, SparseIsingModel)
         assert machine.mapping == CrossbarMapping.for_tiled(
-            machine.crossbar, machine.config.adc.mux_ratio
+            machine.crossbar, machine.config.adc.mux_ratio,
+            ordering="identity", bandwidth=graph_bandwidth(model),
         )
         assert machine.mapping.num_spins == 16  # per-tile geometry
         assert machine.mapping.planes == machine.crossbar.planes
+        # The mapping summary reports the layout next to the geometry.
+        summary = machine.mapping.summary()
+        assert summary["ordering"] == "identity"
+        assert summary["bandwidth"] == graph_bandwidth(model)
 
 
 class TestMachineEquivalence:
