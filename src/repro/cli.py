@@ -51,6 +51,7 @@ def _cmd_solve(args) -> int:
         backend=args.backend,
         tile_size=args.tile_size,
         reorder=args.reorder,
+        replicas=args.replicas,
         flips_per_iteration=args.flips,
     )
     print(result.summary())
@@ -179,7 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "reorders only when it shrinks the layout); "
                             "solutions are mapped back to the input order")
     solve.add_argument("--iterations", type=int, default=10_000)
-    solve.add_argument("--flips", type=int, default=1)
+    solve.add_argument("--flips", type=int, default=1,
+                       help="flip-set size t per proposal (sequential and "
+                            "replica-batch paths alike)")
+    solve.add_argument("--replicas", type=int, default=None, metavar="R",
+                       help="run R vectorised annealing replicas at once "
+                            "(insitu/sa; reports best and mean cut over "
+                            "the batch)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--reference", action="store_true",
                        help="also compute a best-known reference cut")

@@ -16,6 +16,7 @@ from repro.core.batch import (
     BatchAnnealResult,
     BatchDirectEAnnealer,
     BatchInSituAnnealer,
+    BatchMaxCutResult,
 )
 from repro.core.coupling import (
     DenseCouplingOps,
@@ -65,6 +66,7 @@ __all__ = [
     "BatchInSituAnnealer",
     "BatchDirectEAnnealer",
     "BatchAnnealResult",
+    "BatchMaxCutResult",
     "DirectEAnnealer",
     "MesaAnnealer",
     "AnnealResult",

@@ -11,7 +11,10 @@ matrix:
   evaluated from the cached fields;
 * ``update_fields(g, F, σ_F)`` — the rank-``|F|`` in-place update after an
   accepted flip;
-* the batch (R-replica) variants of the first and last.
+* the batch (R-replica) variants of the first three: ``batch_local_fields``
+  for the initial ``(R, n)`` state, ``batch_cross_term`` for per-replica
+  rank-``t`` flip sets, and ``batch_update_fields`` applying the accepted
+  replicas' rank-``t`` updates in one scatter.
 
 :func:`coupling_ops` wraps a model in the matching adapter:
 :class:`DenseCouplingOps` reproduces the seed's dense numpy expressions
@@ -63,11 +66,41 @@ class DenseCouplingOps:
         """``(R, n)`` local fields ``σ J`` for a replica batch."""
         return sigma @ self._J  # J symmetric, so the row-major product works
 
+    def batch_cross_term(
+        self, g: np.ndarray, idx: np.ndarray, sig_f: np.ndarray
+    ) -> np.ndarray:
+        """``(R,)`` cross terms ``σ_rᵀ J σ_c`` for per-replica flip sets.
+
+        ``idx`` and ``sig_f`` are ``(R, t)``: replica ``r`` proposes the
+        flip set ``idx[r]`` (unique indices) currently valued ``sig_f[r]``.
+        Same formula as :meth:`cross_term` per replica, evaluated
+        array-wide; the ``t == 1`` fast path reuses the cached diagonal.
+        """
+        rows = np.arange(idx.shape[0])[:, None]
+        g_f = g[rows, idx]
+        if idx.shape[1] == 1:
+            return -(sig_f * (g_f - self._diag[idx] * sig_f)).sum(axis=1)
+        sub = np.einsum(
+            "rkl,rl->rk", self._J[idx[:, :, None], idx[:, None, :]], sig_f
+        )
+        return -(sig_f * (g_f - sub)).sum(axis=1)
+
     def batch_update_fields(
         self, g: np.ndarray, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
     ) -> None:
-        """Per-replica single-flip field update for accepted replicas."""
-        g[rows] -= 2.0 * (self._J[:, cols].T * vals[:, None])
+        """Per-replica rank-``t`` field update for accepted replicas.
+
+        ``rows`` (A,) are accepted replica indices; ``cols`` / ``vals`` are
+        ``(A, t)`` flip sets and pre-flip spin values (1-D accepted for the
+        legacy single-flip call shape).  Loops over the ``t`` flip slots —
+        each slot is one column gather per accepted replica, so memory
+        stays O(A·n) with no ``(n, A, t)`` intermediate.
+        """
+        if cols.ndim == 1:
+            g[rows] -= 2.0 * (self._J[:, cols].T * vals[:, None])
+            return
+        for k in range(cols.shape[1]):
+            g[rows] -= 2.0 * (self._J[:, cols[:, k]].T * vals[:, k][:, None])
 
     def offdiag_abs_values(self) -> np.ndarray:
         """|J_ij| of all off-diagonal entries (both triangles)."""
@@ -97,6 +130,23 @@ class SparseCouplingOps:
     def local_fields(self, sigma: np.ndarray) -> np.ndarray:
         """``g = J σ`` (O(nnz))."""
         return self._model._matvec(sigma)
+
+    def _gather_rows(self, spins: np.ndarray):
+        """Concatenated neighbour lists of ``spins`` without a Python loop.
+
+        Returns ``(counts, nbr, w)``: per-spin neighbour counts and the
+        flat column-index / value arrays of all their CSR rows, in order.
+        O(Σ degree) time and memory.
+        """
+        starts = self._indptr[spins]
+        counts = self._indptr[spins + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return counts, empty, np.empty(0, dtype=np.float64)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        pos = np.repeat(starts - offsets, counts) + np.arange(total)
+        return counts, self._indices[pos], self._data[pos]
 
     def cross_term(self, g: np.ndarray, flips: np.ndarray, sig_f: np.ndarray) -> float:
         """``σ_rᵀ J σ_c`` from the cached local fields (O(Σ degree))."""
@@ -164,28 +214,86 @@ class SparseCouplingOps:
 
     def _batch_local_fields_loop(self, sigma: np.ndarray) -> np.ndarray:
         """Per-replica bincount kernel (the measured-fastest path)."""
-        g = np.zeros_like(sigma, dtype=np.float64)
+        # Explicit C order: zeros_like would inherit the layout of e.g. a
+        # permutation-gathered sigma ([:, bwd] returns F order), and an
+        # F-ordered g turns the reshape(-1) in batch_update_fields into a
+        # silent copy that drops the scatter-update.
+        g = np.zeros(sigma.shape, dtype=np.float64)
         for r in range(sigma.shape[0]):
             g[r] = self._model._matvec(sigma[r])
         return g
 
+    def batch_cross_term(
+        self, g: np.ndarray, idx: np.ndarray, sig_f: np.ndarray
+    ) -> np.ndarray:
+        """``(R,)`` cross terms for per-replica rank-``t`` flip sets.
+
+        Same mathematics as :meth:`cross_term` per replica: for each
+        flipped spin, the contribution of *other* flipped spins in the same
+        replica is subtracted from the cached field.  The flip-set
+        intersection runs as one global binary search — each replica's flip
+        set is sorted and keyed by ``r·n + spin``, so every gathered
+        neighbour of every flipped spin resolves against a single sorted
+        key array.  O(Σ degree · log t) time, O(Σ degree) memory; the
+        coupling matrix is never densified.
+        """
+        R, t = idx.shape
+        rows = np.arange(R)[:, None]
+        g_f = g[rows, idx]
+        if t == 1:
+            return -(sig_f * (g_f - self._diag[idx] * sig_f)).sum(axis=1)
+        order = np.argsort(idx, axis=1)
+        sorted_idx = np.take_along_axis(idx, order, axis=1)
+        sorted_sig = np.take_along_axis(sig_f, order, axis=1).ravel()
+        keys = (rows * self._n + sorted_idx).ravel()
+        counts, nbr, w = self._gather_rows(idx.ravel())
+        sub = np.zeros(R * t, dtype=np.float64)
+        if nbr.size:
+            rep = np.repeat(np.repeat(np.arange(R), t), counts)
+            nbr_keys = rep * self._n + nbr
+            loc = np.minimum(np.searchsorted(keys, nbr_keys), keys.size - 1)
+            hit = keys[loc] == nbr_keys
+            if hit.any():
+                seg = np.repeat(np.arange(R * t), counts)
+                sub = np.bincount(
+                    seg[hit],
+                    weights=w[hit] * sorted_sig[loc[hit]],
+                    minlength=R * t,
+                )
+        return -(sig_f * (g_f - sub.reshape(R, t))).sum(axis=1)
+
     def batch_update_fields(
         self, g: np.ndarray, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
     ) -> None:
-        """Per-replica single-flip update via a flat scatter-subtract."""
-        counts = self._indptr[cols + 1] - self._indptr[cols]
-        if int(counts.sum()) == 0:
+        """Per-replica rank-``t`` update via a flat scatter-subtract.
+
+        ``rows`` (A,) are accepted replica indices; ``cols`` / ``vals`` are
+        ``(A, t)`` (1-D accepted for the legacy single-flip call shape).
+        O(Σ degree · log) time and memory — neighbour lists only, no
+        ``(n, n)`` or ``(A, t, n)`` intermediate.
+        """
+        if cols.ndim == 2 and cols.shape[1] == 1:
+            cols, vals = cols[:, 0], vals[:, 0]
+        if cols.ndim == 1:
+            counts, nbr, w = self._gather_rows(cols)
+            if nbr.size == 0:
+                return
+            flat = np.repeat(rows, counts) * self._n + nbr
+            # `rows` are distinct replicas and neighbour lists have unique
+            # columns, so the flat indices are unique and fancy -= is safe.
+            g.reshape(-1)[flat] -= 2.0 * w * np.repeat(vals, counts)
             return
-        nbr = np.concatenate(
-            [self._indices[self._indptr[c] : self._indptr[c + 1]] for c in cols]
-        )
-        w = np.concatenate(
-            [self._data[self._indptr[c] : self._indptr[c + 1]] for c in cols]
-        )
-        flat = np.repeat(rows, counts) * self._n + nbr
-        # `rows` are distinct replicas and neighbour lists have unique
-        # columns, so the flat indices are unique and fancy -= is safe.
-        g.reshape(-1)[flat] -= 2.0 * w * np.repeat(vals, counts)
+        t = cols.shape[1]
+        counts, nbr, w = self._gather_rows(cols.ravel())
+        if nbr.size == 0:
+            return
+        flat = np.repeat(np.repeat(rows, t), counts) * self._n + nbr
+        contrib = w * np.repeat(vals.ravel(), counts)
+        # Two flipped spins of one replica may share a neighbour, giving
+        # duplicate flat indices that a fancy -= would silently drop:
+        # collapse duplicates with a segment sum first.
+        uniq, inv = np.unique(flat, return_inverse=True)
+        g.reshape(-1)[uniq] -= 2.0 * np.bincount(inv, weights=contrib)
 
     def offdiag_abs_values(self) -> np.ndarray:
         """|J_ij| of all stored off-diagonal entries (both triangles)."""

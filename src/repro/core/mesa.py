@@ -20,7 +20,7 @@ from repro.core.schedule import GeometricSchedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_permutation
+from repro.utils.validation import check_count, check_permutation
 
 
 class MesaAnnealer:
@@ -65,7 +65,9 @@ class MesaAnnealer:
         self.model = model
         self.epochs = int(epochs)
         self.epoch_decay = float(epoch_decay)
-        self.flips_per_iteration = int(flips_per_iteration)
+        self.flips_per_iteration = check_count(
+            "flips_per_iteration", flips_per_iteration
+        )
         self.permutation = permutation
         if permutation is not None:
             check_permutation(permutation, model.num_spins)
@@ -73,6 +75,7 @@ class MesaAnnealer:
 
     def run(self, iterations: int, initial=None) -> AnnealResult:
         """Run ``epochs`` cooling passes sharing the iteration budget."""
+        iterations = check_count("iterations", iterations)
         if iterations < self.epochs:
             raise ValueError("iterations must be >= epochs")
         per_epoch = iterations // self.epochs

@@ -9,6 +9,15 @@ Two hardware-honest ways to "select t elements" (Algorithm 1, line 3):
   (700 iterations for 800 spins is less than one sweep).
 * ``"random"`` — draw ``t`` distinct uniform indices per iteration (the
   textbook Metropolis move; an LFSR in hardware).
+
+When ``n % t != 0`` a flip set straddles two sweeps: it takes the last
+``n % t``-ish addresses of one permutation and the first few of the next.
+The straddle is resolved without breaking either contract — the next
+permutation's head is swapped free of the carried tail (:func:`_join_sweep`)
+so every flip set stays duplicate-free *and* every aligned ``n``-window of
+the address stream still visits each spin exactly once.  (The previous
+implementation reshuffled early and silently dropped the tail, so tail
+spins were never proposed in that sweep.)
 """
 
 from __future__ import annotations
@@ -16,6 +25,79 @@ from __future__ import annotations
 import numpy as np
 
 PROPOSAL_MODES = ("scan", "random")
+
+
+def _join_sweep(perm: np.ndarray, tail: np.ndarray, need: int) -> np.ndarray:
+    """Make ``concatenate([tail, perm])`` straddle-safe in place.
+
+    ``tail`` holds the carried remainder of the previous sweep and ``need``
+    more indices from ``perm`` complete the straddling flip set.  Any of
+    ``perm``'s first ``need`` entries that collide with ``tail`` are swapped
+    with later non-colliding entries — always possible because ``perm``
+    holds ``n - len(tail)`` non-tail values and ``need <= t - len(tail)``
+    with ``t <= n``.  ``perm`` stays a permutation, so the per-sweep
+    visit-once contract is untouched.
+    """
+    if tail.size == 0 or need <= 0:
+        return perm
+    bad = np.flatnonzero(np.isin(perm[:need], tail))
+    if bad.size:
+        ok = need + np.flatnonzero(~np.isin(perm[need:], tail))
+        swap = ok[: bad.size]
+        perm[bad], perm[swap] = perm[swap], perm[bad]
+    return perm
+
+
+def scan_order(
+    n: int, flips: int, length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A straddle-safe scan stream of ``length`` spin addresses.
+
+    Concatenates fresh per-sweep permutations of ``n`` with
+    :func:`_join_sweep` applied at every sweep boundary, so consecutive
+    ``flips``-sized chunks are always duplicate-free and every aligned
+    ``n``-window visits each spin exactly once.  The batch engine consumes
+    this to build its per-replica proposal tensors; for ``flips == 1`` the
+    RNG stream is identical to drawing the sweeps one by one.
+    """
+    sweeps = -(-length // n) + 1
+    parts = [rng.permutation(n)]
+    pos = n
+    for _ in range(sweeps - 1):
+        perm = rng.permutation(n)
+        off = pos % flips
+        if off:
+            _join_sweep(perm, parts[-1][n - off :], flips - off)
+        parts.append(perm)
+        pos += n
+    return np.concatenate(parts)[:length].astype(np.intp, copy=False)
+
+
+def random_flip_sets(
+    rng: np.random.Generator, n: int, count: int, flips: int
+) -> np.ndarray:
+    """``(count, flips)`` uniform flip sets with distinct indices per row.
+
+    Vectorised rejection sampling: draw all rows at once, redraw only the
+    rows containing a duplicate.  For the operating regime ``t << n`` the
+    expected number of redraw rounds is O(1); a per-row
+    ``choice(..., replace=False)`` fallback guarantees termination when
+    ``t`` approaches ``n`` (where almost every uniform draw collides).
+    """
+    out = rng.integers(n, size=(count, flips))
+    if flips == 1:
+        return out.astype(np.intp, copy=False)
+    for _ in range(32):
+        srt = np.sort(out, axis=1)
+        bad = np.flatnonzero((np.diff(srt, axis=1) == 0).any(axis=1))
+        if bad.size == 0:
+            return out.astype(np.intp, copy=False)
+        out[bad] = rng.integers(n, size=(bad.size, flips))
+    srt = np.sort(out, axis=1)
+    bad = np.flatnonzero((np.diff(srt, axis=1) == 0).any(axis=1))
+    for row in bad:
+        out[row] = rng.choice(n, size=flips, replace=False)
+    return out.astype(np.intp, copy=False)
 
 
 class FlipSelector:
@@ -72,9 +154,16 @@ class FlipSelector:
                     self.n, size=self.flips, replace=False
                 ).astype(np.intp)
         else:
-            # scan mode: consume a permuted order, reshuffling per sweep.
-            if self._order is None or self._ptr + self.flips > self.n:
+            # scan mode: consume per-sweep permutations, carrying any
+            # remainder into the next sweep so no spin is ever skipped.
+            if self._order is None:
                 self._order = self._rng.permutation(self.n)
+                self._ptr = 0
+            if self._ptr + self.flips > self._order.shape[0]:
+                tail = self._order[self._ptr :]
+                perm = self._rng.permutation(self.n)
+                _join_sweep(perm, tail, self.flips - tail.shape[0])
+                self._order = np.concatenate([tail, perm])
                 self._ptr = 0
             out = self._order[self._ptr : self._ptr + self.flips].astype(np.intp)
             self._ptr += self.flips

@@ -66,8 +66,29 @@ class AnnealResult:
         )
 
 
+class CutNormalization:
+    """Shared cut-normalisation scaffolding for Max-Cut result containers.
+
+    Expects ``best_cut`` and ``reference_cut`` on the subclass (fields or
+    properties); keeps the paper's normalisation guard and ≥ 0.9 success
+    criterion in one place for the single-run and replica-batch results.
+    """
+
+    @property
+    def normalized_cut(self) -> float | None:
+        """``best_cut / reference_cut`` (Fig 10's y-axis), if a reference is set."""
+        if self.reference_cut in (None, 0):
+            return None
+        return self.best_cut / self.reference_cut
+
+    def is_success(self, threshold: float = 0.9) -> bool | None:
+        """The paper's success criterion: normalised cut ≥ ``threshold``."""
+        norm = self.normalized_cut
+        return None if norm is None else bool(norm >= threshold)
+
+
 @dataclass
-class MaxCutResult:
+class MaxCutResult(CutNormalization):
     """A :class:`AnnealResult` interpreted against a Max-Cut instance.
 
     Attributes
@@ -84,18 +105,6 @@ class MaxCutResult:
     cut: float
     best_cut: float
     reference_cut: float | None = None
-
-    @property
-    def normalized_cut(self) -> float | None:
-        """``best_cut / reference_cut`` (Fig 10's y-axis), if a reference is set."""
-        if self.reference_cut in (None, 0):
-            return None
-        return self.best_cut / self.reference_cut
-
-    def is_success(self, threshold: float = 0.9) -> bool | None:
-        """The paper's success criterion: normalised cut ≥ ``threshold``."""
-        norm = self.normalized_cut
-        return None if norm is None else bool(norm >= threshold)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

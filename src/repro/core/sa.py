@@ -24,7 +24,11 @@ from repro.core.schedule import GeometricSchedule, Schedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_permutation, check_spin_vector
+from repro.utils.validation import (
+    check_count,
+    check_permutation,
+    check_spin_vector,
+)
 
 
 def estimate_temperature_range(
@@ -111,8 +115,8 @@ class DirectEAnnealer:
         self.model = model
         self.n = model.num_spins
         self._ops = coupling_ops(model)
-        t = int(flips_per_iteration)
-        if not 1 <= t <= self.n:
+        t = check_count("flips_per_iteration", flips_per_iteration)
+        if t > self.n:
             raise ValueError(f"flips_per_iteration must be in [1, {self.n}]")
         self.flips_per_iteration = t
         self.schedule = schedule
@@ -139,8 +143,10 @@ class DirectEAnnealer:
 
     def run(self, iterations: int, initial=None) -> AnnealResult:
         """Execute the SA run and return the result."""
-        if iterations < 1:
-            raise ValueError("iterations must be >= 1")
+        iterations = check_count(
+            "iterations", iterations,
+            hint="the annealers need at least one proposal/accept step",
+        )
         schedule = self._build_schedule(iterations)
         rng = self._rng
         ops = self._ops

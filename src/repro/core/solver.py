@@ -31,6 +31,12 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.annealer import InSituAnnealer
+from repro.core.batch import (
+    BatchAnnealResult,
+    BatchDirectEAnnealer,
+    BatchInSituAnnealer,
+    BatchMaxCutResult,
+)
 from repro.core.mesa import MesaAnnealer
 from repro.core.reorder import REORDER_MODES, reorder_permutation
 from repro.core.results import AnnealResult, MaxCutResult
@@ -44,6 +50,11 @@ _SOLVERS = {
     "insitu": InSituAnnealer,
     "sa": DirectEAnnealer,
     "mesa": MesaAnnealer,
+}
+
+_BATCH_SOLVERS = {
+    "insitu": BatchInSituAnnealer,
+    "sa": BatchDirectEAnnealer,
 }
 
 
@@ -124,8 +135,9 @@ def solve_ising(
     backend: str | None = None,
     tile_size: int | None = None,
     reorder: str | None = None,
+    replicas: int | None = None,
     **solver_kwargs,
-) -> AnnealResult:
+) -> AnnealResult | BatchAnnealResult:
     """Minimise an Ising model with the selected annealer.
 
     Parameters
@@ -157,6 +169,17 @@ def solve_ising(
         dyadic couplings such as ±1-weighted G-sets.  Pass
         ``crossbar_backend="device"`` for the compact-model tile
         evaluation (``backend`` here always means the coupling backend).
+    replicas:
+        When given, run ``replicas`` independent annealing replicas at once
+        through the vectorised batch engines
+        (:class:`~repro.core.batch.BatchInSituAnnealer` /
+        :class:`~repro.core.batch.BatchDirectEAnnealer`) and return a
+        :class:`~repro.core.batch.BatchAnnealResult` with per-replica
+        energies and configurations — the paper's 100-run Monte-Carlo
+        protocol in one call.  Supports ``method`` ``"insitu"`` and
+        ``"sa"`` (MESA has no batch engine), ``flips_per_iteration >= 1``
+        and ``reorder``; incompatible with ``tile_size`` (the tiled
+        crossbar machine is a single-run instrument).
     reorder:
         Spin-reordering pass applied before solving: ``"none"`` (default),
         ``"rcm"`` (Reverse Cuthill–McKee) or ``"auto"`` (reorder only when
@@ -180,6 +203,18 @@ def solve_ising(
         )
     if backend is not None:
         model = as_backend(model, backend)
+    if replicas is not None:
+        if method not in _BATCH_SOLVERS:
+            raise ValueError(
+                f"replicas only applies to methods "
+                f"{sorted(_BATCH_SOLVERS)}, got method={method!r} "
+                f"(MESA has no batch engine)"
+            )
+        if tile_size is not None:
+            raise ValueError(
+                "replicas cannot be combined with tile_size; the tiled "
+                "crossbar machine runs one replica per programmed array"
+            )
     if tile_size is not None:
         tile_size = check_count(
             "tile_size", tile_size, minimum=2,
@@ -196,11 +231,16 @@ def solve_ising(
     if reorder != "none":
         perm = reorder_permutation(model, reorder)
         if perm is not None:
-            solver = _SOLVERS[method](
-                model.permuted(perm), seed=seed, permutation=perm,
-                **solver_kwargs,
-            )
-            return solver.run(iterations)
+            # model.permuted(perm) must always travel with permutation=perm
+            # so proposals/results stay in the caller's spin space; shared
+            # by the replica-batch and sequential dispatches below.
+            model = model.permuted(perm)
+            solver_kwargs = dict(solver_kwargs, permutation=perm)
+    if replicas is not None:
+        engine = _BATCH_SOLVERS[method](
+            model, replicas=replicas, seed=seed, **solver_kwargs
+        )
+        return engine.run(iterations)
     solver = _SOLVERS[method](model, seed=seed, **solver_kwargs)
     return solver.run(iterations)
 
@@ -214,8 +254,9 @@ def solve_maxcut(
     backend: str = "auto",
     tile_size: int | None = None,
     reorder: str | None = None,
+    replicas: int | None = None,
     **solver_kwargs,
-) -> MaxCutResult:
+) -> MaxCutResult | BatchMaxCutResult:
     """Solve a Max-Cut instance and report cut values.
 
     ``reference_cut`` (the best-known value, e.g. from
@@ -229,6 +270,11 @@ def solve_maxcut(
     crossbar machine and ``reorder`` applies a bandwidth-reducing spin
     relabelling ahead of tiling (see :func:`solve_ising`; the returned
     partition is always in the problem's original node order).
+
+    ``replicas`` runs the paper's R-run Monte-Carlo protocol through the
+    vectorised batch engines and returns a
+    :class:`~repro.core.batch.BatchMaxCutResult` carrying per-replica best
+    cuts (see :func:`solve_ising`).
     """
     if getattr(problem, "num_nodes", None) is None:
         raise ValueError(
@@ -237,8 +283,15 @@ def solve_maxcut(
     model = problem.to_ising(backend=backend)
     result = solve_ising(
         model, method=method, iterations=iterations, seed=seed,
-        tile_size=tile_size, reorder=reorder, **solver_kwargs
+        tile_size=tile_size, reorder=reorder, replicas=replicas,
+        **solver_kwargs
     )
+    if replicas is not None:
+        return BatchMaxCutResult(
+            anneal=result,
+            best_cuts=result.best_cuts(problem),
+            reference_cut=reference_cut,
+        )
     return MaxCutResult(
         anneal=result,
         cut=problem.cut_from_energy(result.energy),

@@ -113,6 +113,43 @@ class TestCommands:
         assert code == 2
         assert "tile_size" in capsys.readouterr().err
 
+    def test_solve_with_replicas(self, instance_file, capsys):
+        """The replica-batch path through the CLI, with multi-flip moves."""
+        for method in ("insitu", "sa"):
+            code = main(
+                ["solve", instance_file, "--iterations", "300", "--method",
+                 method, "--replicas", "6", "--flips", "4", "--seed", "5"]
+            )
+            assert code == 0
+        printed = capsys.readouterr().out
+        assert "6 replicas" in printed
+        assert "best cut" in printed
+        assert "mean" in printed
+
+    def test_solve_replicas_with_reorder_and_partition(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--replicas", "4",
+             "--backend", "sparse", "--reorder", "rcm", "--partition",
+             "--seed", "5"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "partition sizes" in printed
+
+    def test_solve_replicas_rejected_for_mesa(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--method", "mesa", "--replicas", "4"]
+        )
+        assert code == 2
+        assert "batch engine" in capsys.readouterr().err
+
+    def test_solve_replicas_rejected_with_tiles(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--replicas", "4", "--tile-size", "16"]
+        )
+        assert code == 2
+        assert "tile_size" in capsys.readouterr().err
+
     def test_solve_with_reference_and_partition(self, instance_file, capsys):
         code = main(
             ["solve", instance_file, "--iterations", "2000", "--reference",
@@ -191,6 +228,30 @@ class TestSolveBoundaryValidation:
                 engine(model, replicas=True)
             with pytest.raises(ValueError, match="replicas must be >= 1"):
                 engine(model, replicas=0)
+        with pytest.raises(ValueError, match="replicas must be an integer"):
+            solve_ising(model, replicas=True)
+        with pytest.raises(ValueError, match="replicas must be >= 1"):
+            solve_ising(model, replicas=0)
+
+    def test_boolean_iterations_rejected_at_engine_level(self, model):
+        """run(True) on the engines themselves, not just the solve API."""
+        from repro.core import DirectEAnnealer, InSituAnnealer, MesaAnnealer
+
+        for engine in (InSituAnnealer, DirectEAnnealer, MesaAnnealer):
+            with pytest.raises(ValueError, match="iterations must be an integer"):
+                engine(model, seed=0).run(True)
+
+    def test_boolean_flips_rejected_everywhere(self, model):
+        """flips_per_iteration=True must not silently run single-flip."""
+        for method in ("insitu", "sa", "mesa"):
+            with pytest.raises(
+                ValueError, match="flips_per_iteration must be an integer"
+            ):
+                solve_ising(model, method=method, flips_per_iteration=True)
+        with pytest.raises(
+            ValueError, match="flips_per_iteration must be an integer"
+        ):
+            solve_ising(model, replicas=3, flips_per_iteration=True)
 
     def test_empty_model_rejected(self):
         empty = IsingModel(np.zeros((0, 0)))

@@ -140,6 +140,61 @@ class TestTiledMachineGoldens:
         assert golden_problem.cut_value(result.anneal.best_sigma) == cut
 
 
+class TestReplicaBatchGoldens:
+    """Pinned replica-batch runs on the bundled golden instance.
+
+    The rank-t batch engines at R = 8 on both coupling backends: ±1
+    weights make every sum dyadic, so per-replica best cuts and acceptance
+    counts are bit-exact and backend-independent.  A refactor that touches
+    the batch RNG stream, the rank-t proposal tensor, the batch cross-term
+    or the acceptance rule changes these values and must update them
+    deliberately.
+    """
+
+    #: (method, flips) -> (best_cut, per-replica best cuts, accepted).
+    GOLDEN_BATCH = {
+        ("insitu", 1): (
+            49.0,
+            [44.0, 43.0, 48.0, 48.0, 47.0, 44.0, 46.0, 49.0],
+            [351, 295, 319, 312, 351, 276, 296, 291],
+        ),
+        ("insitu", 4): (
+            44.0,
+            [42.0, 41.0, 37.0, 44.0, 40.0, 40.0, 41.0, 37.0],
+            [118, 131, 147, 144, 151, 157, 150, 132],
+        ),
+        ("sa", 1): (
+            48.0,
+            [46.0, 44.0, 41.0, 42.0, 41.0, 47.0, 39.0, 48.0],
+            [875, 913, 900, 922, 928, 841, 950, 885],
+        ),
+        ("sa", 4): (
+            40.0,
+            [39.0, 36.0, 34.0, 40.0, 39.0, 37.0, 32.0, 39.0],
+            [594, 567, 571, 554, 560, 525, 554, 595],
+        ),
+    }
+
+    @pytest.mark.parametrize("method,flips", sorted(GOLDEN_BATCH))
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_pinned_replica_batch(self, golden_problem, method, flips, backend):
+        best_cut, cuts, accepted = self.GOLDEN_BATCH[(method, flips)]
+        result = solve_maxcut(
+            golden_problem,
+            method=method,
+            iterations=1600,
+            seed=2024,
+            backend=backend,
+            replicas=8,
+            flips_per_iteration=flips,
+        )
+        assert result.best_cut == best_cut
+        assert result.best_cuts.tolist() == cuts
+        assert result.anneal.accepted.tolist() == accepted
+        # the reported best configuration reproduces the reported cut
+        assert golden_problem.cut_value(result.anneal.best_sigma) == best_cut
+
+
 class TestIsingGoldens:
     @pytest.mark.parametrize("method", sorted(GOLDEN_ISING))
     def test_pinned_best_energy(self, method):

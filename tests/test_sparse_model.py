@@ -169,12 +169,17 @@ class TestTrajectoryEquivalence:
 
     @pytest.mark.parametrize("engine", [BatchInSituAnnealer, BatchDirectEAnnealer])
     @pytest.mark.parametrize("proposal", ["scan", "random"])
-    def test_batch_replicas_coincide(self, engine, proposal):
+    @pytest.mark.parametrize("flips", [1, 4])
+    def test_batch_replicas_coincide(self, engine, proposal, flips):
         problem = MaxCutProblem.random(60, 200, weighted=True, seed=13)
         md = problem.to_ising(backend="dense")
         ms = problem.to_ising(backend="sparse")
-        bd = engine(md, replicas=6, proposal=proposal, seed=3).run(250)
-        bs = engine(ms, replicas=6, proposal=proposal, seed=3).run(250)
+        bd = engine(
+            md, replicas=6, proposal=proposal, flips_per_iteration=flips, seed=3
+        ).run(250)
+        bs = engine(
+            ms, replicas=6, proposal=proposal, flips_per_iteration=flips, seed=3
+        ).run(250)
         assert np.array_equal(bs.best_energies, bd.best_energies)
         assert np.array_equal(bs.final_energies, bd.final_energies)
         assert np.array_equal(bs.final_sigmas, bd.final_sigmas)
