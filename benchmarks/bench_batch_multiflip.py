@@ -31,16 +31,19 @@ from __future__ import annotations
 import os
 import time
 import tracemalloc
-from contextlib import contextmanager
-from unittest import mock
+from functools import partial
 
 import numpy as np
 
-from benchmarks._common import emit
+from benchmarks._common import emit, forbid_densification
 from repro.core import BatchInSituAnnealer, InSituAnnealer
 from repro.ising import generate_random
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.tables import render_table
+
+#: This bench never builds a tiled machine, so only the coupling-matrix
+#: densification trap applies.
+_forbid_densification = partial(forbid_densification, trap_matrix_hat=False)
 
 BENCH_NODES = int(os.environ.get("REPRO_MULTIFLIP_BENCH_NODES", "10000"))
 BENCH_REPLICAS = int(os.environ.get("REPRO_MULTIFLIP_BENCH_REPLICAS", "100"))
@@ -58,20 +61,6 @@ BYTES_PER_STATE = 64
 BYTES_PER_NNZ = 200
 BYTES_PER_PROPOSAL = 16
 BYTES_BASE = 64 * 1024 * 1024
-
-
-@contextmanager
-def _forbid_densification():
-    """Trap every path that could materialise the dense (n, n) matrix."""
-
-    def _no_toarray(self):
-        raise AssertionError(
-            "SparseIsingModel.toarray() called on the replica batch path — "
-            "the dense coupling matrix must never be materialised"
-        )
-
-    with mock.patch.object(SparseIsingModel, "toarray", _no_toarray):
-        yield
 
 
 def test_rank_t_replica_throughput(capsys):

@@ -38,15 +38,14 @@ from __future__ import annotations
 import os
 import time
 import tracemalloc
-from contextlib import contextmanager
-from unittest import mock
 
 import numpy as np
 
-from benchmarks._common import emit
-from repro.arch import InSituCimAnnealer, TiledCrossbar
-from repro.core import Permutation, count_active_tiles, rcm_permutation
-from repro.ising import MaxCutProblem
+from benchmarks._common import emit, fmt_bytes as _fmt_bytes
+from benchmarks._common import forbid_densification as _forbid_densification
+from repro.arch import InSituCimAnnealer
+from repro.core import count_active_tiles, rcm_permutation
+from repro.ising import scattered_circulant_maxcut
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.tables import render_table
 
@@ -68,59 +67,6 @@ BYTES_PER_CELL = 32
 BYTES_BASE = 64 * 1024 * 1024
 
 
-def _scattered_problem(n: int) -> tuple[MaxCutProblem, Permutation]:
-    """Degree-6 circulant with scrambled node labels, plus the oracle.
-
-    Returns the Max-Cut instance and the *oracle permutation* — the layout
-    that undoes the scrambling and restores the perfect circulant band (a
-    real mapper doesn't know it; RCM has to rediscover an equivalent one).
-    """
-    offsets = (1, 2, 3)
-    assert n > 2 * max(offsets)
-    rng = np.random.default_rng(99)
-    base = np.arange(n)
-    u = np.concatenate([base] * len(offsets))
-    v = np.concatenate([(base + k) % n for k in offsets])
-    relabel = rng.permutation(n)
-    u, v = relabel[u], relabel[v]
-    edges = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
-    weights = rng.choice(np.array([-1.0, 1.0]), size=edges.shape[0])
-    problem = MaxCutProblem(
-        n, edges, weights, name=f"scattered-circulant-{n}-d{BENCH_DEGREE}"
-    )
-    oracle = np.empty(n, dtype=np.intp)
-    oracle[relabel] = base  # forward map: scattered label -> band position
-    return problem, Permutation(oracle, strategy="oracle")
-
-
-@contextmanager
-def _forbid_densification():
-    """Trap every path that could materialise an (n, n) dense array."""
-
-    def _no_toarray(self):
-        raise AssertionError(
-            "SparseIsingModel.toarray() called on the reordered solve path"
-        )
-
-    def _no_matrix_hat(self):
-        raise AssertionError(
-            "TiledCrossbar.matrix_hat assembled on the reordered solve path"
-        )
-
-    with mock.patch.object(SparseIsingModel, "toarray", _no_toarray), \
-            mock.patch.object(TiledCrossbar, "matrix_hat",
-                              property(_no_matrix_hat)):
-        yield
-
-
-def _fmt_bytes(num: float) -> str:
-    for unit in ("B", "KB", "MB", "GB"):
-        if abs(num) < 1024.0 or unit == "GB":
-            return f"{num:.1f} {unit}"
-        num /= 1024.0
-    return f"{num:.1f} GB"
-
-
 def _run(machine: InSituCimAnnealer, iters: int):
     result = machine.run(iters)
     return (
@@ -133,7 +79,7 @@ def _run(machine: InSituCimAnnealer, iters: int):
 
 def test_reorder_recovers_banded_occupancy(capsys):
     """RCM maps a scattered 50k-node instance onto ≥5× fewer tiles."""
-    problem, oracle = _scattered_problem(BENCH_NODES)
+    problem, oracle = scattered_circulant_maxcut(BENCH_NODES, seed=99)
     model = problem.to_ising(backend="sparse")
     assert isinstance(model, SparseIsingModel)
     n, nnz = model.num_spins, model.nnz
@@ -216,7 +162,7 @@ def test_reorder_recovers_banded_occupancy(capsys):
 
 def test_reorder_probe_bit_identical_to_identity(capsys):
     """rcm vs none, compared directly at a size where none is affordable."""
-    problem, _ = _scattered_problem(PROBE_NODES)
+    problem, _ = scattered_circulant_maxcut(PROBE_NODES, seed=99)
     model = problem.to_ising(backend="sparse")
     with _forbid_densification():
         plain = InSituCimAnnealer(model, tile_size=PROBE_TILE, seed=SEED)

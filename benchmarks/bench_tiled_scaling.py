@@ -28,14 +28,11 @@ from __future__ import annotations
 import os
 import time
 import tracemalloc
-from contextlib import contextmanager
-from unittest import mock
 
-import numpy as np
-
-from benchmarks._common import emit
-from repro.arch import InSituCimAnnealer, TiledCrossbar
-from repro.ising import MaxCutProblem
+from benchmarks._common import emit, fmt_bytes as _fmt_bytes
+from benchmarks._common import forbid_densification as _forbid_densification
+from repro.arch import InSituCimAnnealer
+from repro.ising import circulant_maxcut
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.tables import render_table
 
@@ -53,57 +50,13 @@ BYTES_PER_CELL = 32
 BYTES_BASE = 64 * 1024 * 1024
 
 
-def _circulant_problem(n: int) -> MaxCutProblem:
-    """Degree-6 circulant graph: node ``i`` joins ``i ± {1, 2, 3} (mod n)``.
-
-    The banded ordering is what an array mapper produces for a local graph;
-    it keeps the occupied tile set at ~3 block diagonals instead of the
-    ~``grid²`` blocks a scattered ordering would touch.
-    """
-    offsets = (1, 2, 3)
-    assert n > 2 * max(offsets), "circulant needs n > twice the largest offset"
-    rng = np.random.default_rng(99)
-    u = np.concatenate([np.arange(n)] * len(offsets))
-    v = np.concatenate([(np.arange(n) + k) % n for k in offsets])
-    edges = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
-    weights = rng.choice(np.array([-1.0, 1.0]), size=edges.shape[0])
-    return MaxCutProblem(n, edges, weights, name=f"circulant-{n}-d{BENCH_DEGREE}")
-
-
-@contextmanager
-def _forbid_densification():
-    """Trap every path that could materialise an (n, n) dense array."""
-
-    def _no_toarray(self):
-        raise AssertionError(
-            "SparseIsingModel.toarray() called on the tiled solve path — "
-            "the dense coupling matrix must never be materialised"
-        )
-
-    def _no_matrix_hat(self):
-        raise AssertionError(
-            "TiledCrossbar.matrix_hat assembled on the tiled solve path — "
-            "the dense stored image must never be materialised"
-        )
-
-    with mock.patch.object(SparseIsingModel, "toarray", _no_toarray), \
-            mock.patch.object(TiledCrossbar, "matrix_hat",
-                              property(_no_matrix_hat)):
-        yield
-
-
-def _fmt_bytes(num: float) -> str:
-    for unit in ("B", "KB", "MB", "GB"):
-        if abs(num) < 1024.0 or unit == "GB":
-            return f"{num:.1f} {unit}"
-        num /= 1024.0
-    return f"{num:.1f} GB"
-
-
 def test_tiled_sharding_scaling(capsys):
     """100k-node degree-6 instance solves tiled with O(nnz + cells) memory."""
     build_start = time.perf_counter()
-    problem = _circulant_problem(BENCH_NODES)
+    # The banded ordering is what an array mapper produces for a local
+    # graph; it keeps the occupied tile set at ~3 block diagonals instead
+    # of the ~grid² blocks a scattered ordering would touch.
+    problem = circulant_maxcut(BENCH_NODES, seed=99)
     model = problem.to_ising(backend="sparse")
     model_time = time.perf_counter() - build_start
     assert isinstance(model, SparseIsingModel)

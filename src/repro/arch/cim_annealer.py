@@ -69,19 +69,22 @@ class InSituCimAnnealer:
         matrix nor the stored image is ever densified, so 100k+-node
         low-degree instances fit in O(nnz + active-tile cells) memory.
     reorder:
-        Bandwidth-reducing spin reordering applied to the *internal*
-        crossbar layout before tiling: ``"none"`` (default), ``"rcm"``
-        (Reverse Cuthill–McKee) or ``"auto"`` (reorder only when it
-        strictly reduces the estimated active-tile count; greedy degree
-        fallback).  Purely a layout optimisation — proposals are drawn in
-        the caller's spin order and configurations are returned in it, so
-        results are bit-identical to the unreordered machine whenever the
-        stored image is exactly representable (all ±1-weighted G-sets).
-        ``"rcm"`` requires ``tile_size`` (a monolithic crossbar has no
-        tile grid to compact); ``"auto"`` quietly resolves to the identity
-        without one.  The resulting ordering and bandwidth are reported in
-        :attr:`mapping` and the :class:`Permutation` is kept on
-        :attr:`permutation`.
+        Spin reordering applied to the *internal* crossbar layout before
+        tiling: ``"none"`` (default), ``"rcm"`` (Reverse Cuthill–McKee,
+        for banded structure), ``"partition"`` (multilevel min-cut block
+        layout of :mod:`repro.core.partition`, for clustered structure)
+        or ``"auto"`` (score RCM against the partition layout by exact
+        active-tile count and keep the winner only when it strictly
+        improves on the identity; greedy degree fallback).  Purely a
+        layout optimisation — proposals are drawn in the caller's spin
+        order and configurations are returned in it, so results are
+        bit-identical to the unreordered machine whenever the stored
+        image is exactly representable (all ±1-weighted G-sets).
+        ``"rcm"`` and ``"partition"`` require ``tile_size`` (a monolithic
+        crossbar has no tile grid to compact); ``"auto"`` quietly
+        resolves to the identity without one.  The resulting ordering and
+        bandwidth are reported in :attr:`mapping` and the
+        :class:`Permutation` is kept on :attr:`permutation`.
     permutation:
         Explicit internal layout: a pre-computed
         :class:`~repro.core.reorder.Permutation` (or raw ``forward``
@@ -131,9 +134,9 @@ class InSituCimAnnealer:
         reorder = check_choice(
             "reorder", "none" if reorder is None else reorder, REORDER_MODES
         )
-        if reorder == "rcm" and tile_size is None:
+        if reorder in ("rcm", "partition") and tile_size is None:
             raise ValueError(
-                "reorder='rcm' optimises the tile grid and needs "
+                f"reorder={reorder!r} optimises the tile grid and needs "
                 "tile_size=...; a monolithic crossbar programs the full "
                 "array either way (use reorder='auto' to make it a no-op)"
             )

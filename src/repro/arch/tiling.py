@@ -44,6 +44,7 @@ from repro.circuits.quantize import MatrixQuantizer
 from repro.devices.constants import VBG_MAX
 from repro.ising.sparse import SparseIsingModel
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_count
 
 _ZERO_STATS = ActivationStats(
     phases=0,
@@ -83,9 +84,10 @@ class TiledCrossbar:
         variation=None,
         seed=None,
     ) -> None:
-        if int(tile_size) < 2:
-            raise ValueError("tile_size must be >= 2")
-        self.tile_size = int(tile_size)
+        self.tile_size = check_count(
+            "tile_size", tile_size, minimum=2,
+            hint="a physical tile needs at least 2 rows",
+        )
         self.bits = int(bits)
         rng = ensure_rng(seed)
         quantizer = MatrixQuantizer(bits)

@@ -173,11 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solve on the tiled crossbar machine with S-row "
                             "arrays (insitu only; sparse models shard from "
                             "CSR without densifying)")
-    solve.add_argument("--reorder", choices=("none", "rcm", "auto"),
+    solve.add_argument("--reorder",
+                       choices=("none", "rcm", "partition", "auto"),
                        default="none",
-                       help="bandwidth-reducing spin reordering ahead of "
-                            "tiling (rcm = Reverse Cuthill-McKee; auto "
-                            "reorders only when it shrinks the layout); "
+                       help="spin reordering ahead of tiling (rcm = "
+                            "Reverse Cuthill-McKee for banded structure; "
+                            "partition = multilevel min-cut blocks for "
+                            "clustered structure, needs --tile-size; auto "
+                            "scores both by active-tile count and keeps "
+                            "the winner only when it shrinks the layout); "
                             "solutions are mapped back to the input order")
     solve.add_argument("--iterations", type=int, default=10_000)
     solve.add_argument("--flips", type=int, default=1,

@@ -6,6 +6,7 @@
 * :mod:`repro.core.schedule` — back-gate and conventional schedules;
 * :mod:`repro.core.coupling` — backend-agnostic coupling ops (dense/CSR);
 * :mod:`repro.core.reorder` — bandwidth-reducing spin reordering (RCM);
+* :mod:`repro.core.partition` — multilevel min-cut tile partitioning;
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
 * :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
 * :mod:`repro.core.solver` — one-call high-level API.
@@ -40,6 +41,11 @@ from repro.core.incremental import (
     num_product_terms,
 )
 from repro.core.mesa import MesaAnnealer
+from repro.core.partition import (
+    Partitioning,
+    partition_model,
+    partition_permutation,
+)
 from repro.core.reorder import (
     REORDER_MODES,
     Permutation,
@@ -87,6 +93,9 @@ __all__ = [
     "DenseCouplingOps",
     "SparseCouplingOps",
     "Permutation",
+    "Partitioning",
+    "partition_model",
+    "partition_permutation",
     "REORDER_MODES",
     "reorder_permutation",
     "rcm_permutation",

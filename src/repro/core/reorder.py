@@ -37,8 +37,10 @@ import numpy as np
 
 from repro.utils.validation import check_choice, check_count, check_permutation
 
-#: Valid values of the public ``reorder=`` knob.
-REORDER_MODES = ("none", "rcm", "auto")
+#: Valid values of the public ``reorder=`` knob.  ``"partition"`` is the
+#: multilevel min-cut block layout of :mod:`repro.core.partition` (for
+#: clustered instances; requires a ``tile_size`` to size the blocks to).
+REORDER_MODES = ("none", "rcm", "partition", "auto")
 
 #: Strategies :func:`reorder_permutation` can be asked for explicitly
 #: (``"degree"`` is the greedy fallback ``"auto"`` considers).
@@ -411,24 +413,42 @@ def reorder_permutation(
 ) -> Permutation | None:
     """Resolve the ``reorder`` knob to a permutation (or ``None``).
 
-    ``"rcm"`` / ``"degree"`` return their pass unconditionally (an explicit
-    request is honoured even when it does not improve the layout).
-    ``"auto"`` scores candidates — by :meth:`~Permutation.
-    estimated_active_tiles` when ``tile_size`` is given (the tiled-machine
-    objective), by bandwidth otherwise — tries the greedy degree fallback
-    when RCM fails to improve, and returns ``None`` (keep the identity
-    ordering) unless the winner *strictly* beats the current labelling.
+    ``"rcm"`` / ``"partition"`` / ``"degree"`` return their pass
+    unconditionally (an explicit request is honoured even when it does not
+    improve the layout; ``"partition"`` needs ``tile_size`` to size its
+    blocks to the tile grid).  ``"auto"`` scores candidates — by
+    :meth:`~Permutation.estimated_active_tiles` when ``tile_size`` is
+    given (the tiled-machine objective; RCM **and** the multilevel min-cut
+    partition both compete, exact tile counts decide), by bandwidth
+    otherwise (partition is not considered: without a tile grid a block
+    layout has nothing to optimise) — tries the greedy degree fallback
+    when the structural passes fail to improve, and returns ``None``
+    (keep the identity ordering) unless the winner *strictly* beats the
+    current labelling.  Every candidate pass is deterministic, so the
+    scorer picks the same winner on every run.
     """
     check_choice("reorder", mode, REORDER_STRATEGIES)
     if mode == "none":
         return None
+    if mode in ("partition", "auto") and tile_size is not None:
+        tile_size = check_count("tile_size", tile_size)
     if mode == "rcm":
         return rcm_permutation(model)
+    if mode == "partition":
+        if tile_size is None:
+            raise ValueError(
+                "reorder='partition' sizes its blocks to the tile grid and "
+                "needs tile_size=...; use reorder='rcm' (bandwidth) for "
+                "untiled layouts"
+            )
+        # Local import: repro.core.partition builds on this module.
+        from repro.core.partition import partition_permutation
+
+        return partition_permutation(model, tile_size)
     if mode == "degree":
         return degree_permutation(model)
     # auto
     if tile_size is not None:
-        tile_size = check_count("tile_size", tile_size)
 
         def score(perm: Permutation) -> int:
             return perm.estimated_active_tiles(tile_size)
@@ -441,6 +461,12 @@ def reorder_permutation(
 
         identity_score = graph_bandwidth(model)
     best = rcm_permutation(model)
+    if tile_size is not None:
+        from repro.core.partition import partition_permutation
+
+        candidate = partition_permutation(model, tile_size)
+        if score(candidate) < score(best):
+            best = candidate
     if score(best) >= identity_score:
         fallback = degree_permutation(model)
         if score(fallback) < score(best):

@@ -182,14 +182,18 @@ def solve_ising(
         crossbar machine is a single-run instrument).
     reorder:
         Spin-reordering pass applied before solving: ``"none"`` (default),
-        ``"rcm"`` (Reverse Cuthill–McKee) or ``"auto"`` (reorder only when
-        it strictly improves the layout — fewer estimated active tiles on
-        the tiled machine, lower bandwidth for the software solvers, with
-        a greedy degree-ordering fallback).  Reordering is transparent:
-        proposals are drawn in the original spin space and solutions are
-        mapped back through the inverse permutation, so results are
-        bit-identical to the unreordered solve for dyadic couplings (see
-        :mod:`repro.core.reorder`).
+        ``"rcm"`` (Reverse Cuthill–McKee, for banded structure),
+        ``"partition"`` (multilevel min-cut blocks sized to the tile grid
+        — clustered/community instances; requires ``tile_size``) or
+        ``"auto"`` (reorder only when it strictly improves the layout —
+        on the tiled machine RCM and the partition layout compete on
+        exact active-tile count, the software solvers score by bandwidth,
+        with a greedy degree-ordering fallback).  Reordering is
+        transparent: proposals are drawn in the original spin space and
+        solutions are mapped back through the inverse permutation, so
+        results are bit-identical to the unreordered solve for dyadic
+        couplings (see :mod:`repro.core.reorder` and
+        :mod:`repro.core.partition`).
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``flips_per_iteration``).
     """

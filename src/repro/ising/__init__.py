@@ -19,6 +19,12 @@ from repro.ising.gset import (
     suite_by_size,
     write_gset,
 )
+from repro.ising.generators import (
+    circulant_edges,
+    circulant_maxcut,
+    planted_partition_maxcut,
+    scattered_circulant_maxcut,
+)
 from repro.ising.knapsack import KnapsackProblem
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.mis import MaxIndependentSetProblem
@@ -54,6 +60,10 @@ __all__ = [
     "GsetSpec",
     "PAPER_ITERATIONS",
     "build_instance",
+    "circulant_edges",
+    "circulant_maxcut",
+    "planted_partition_maxcut",
+    "scattered_circulant_maxcut",
     "generate_random",
     "generate_skew",
     "generate_toroidal",

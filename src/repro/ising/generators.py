@@ -1,0 +1,232 @@
+"""Structured benchmark-instance generators: circulants, scatters, SBMs.
+
+The scaling and mapping benchmarks all need instances with a *known*
+structure so their acceptance assertions mean something: a circulant is
+perfectly banded (the friendly case for a tiled crossbar), a scattered
+relabelling of it hides that band (the case RCM recovers), and a planted
+partition / stochastic-block-model graph is clustered with **no** banded
+ordering at all (the case min-cut partitioning opens).  These builders
+used to be copy-pasted across the benchmark scripts; this module is the
+single library home, also usable from tests and examples.
+
+Every generator is deterministic for a fixed ``seed`` and returns plain
+:class:`~repro.ising.maxcut.MaxCutProblem` instances (convert with
+``problem.to_ising(backend=...)``); the scattered builders additionally
+return the ground-truth layout so benches can compare a mapper against
+the planted structure it is supposed to rediscover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ising.gset import random_edge_set
+from repro.ising.maxcut import MaxCutProblem
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_count, check_probability
+
+
+def circulant_edges(n: int, offsets=(1, 2, 3)) -> tuple[np.ndarray, np.ndarray]:
+    """Endpoint arrays of the circulant: ``i ~ i ± k (mod n)`` per offset.
+
+    The natural labelling is banded with bandwidth ``max(offsets)`` (plus
+    the wrap-around edges), which is what keeps a tiled crossbar's
+    occupied set at a few block diagonals.
+    """
+    n = check_count("n", n, minimum=2)
+    offsets = tuple(int(k) for k in offsets)
+    if not offsets or min(offsets) < 1:
+        raise ValueError(f"offsets must be positive integers, got {offsets}")
+    if n <= 2 * max(offsets):
+        raise ValueError(
+            f"circulant needs n > twice the largest offset "
+            f"({max(offsets)}), got n={n}"
+        )
+    base = np.arange(n)
+    u = np.concatenate([base] * len(offsets))
+    v = np.concatenate([(base + k) % n for k in offsets])
+    return u, v
+
+
+def circulant_maxcut(
+    n: int,
+    offsets=(1, 2, 3),
+    weighted: bool = True,
+    seed=99,
+    name: str | None = None,
+) -> MaxCutProblem:
+    """Banded Max-Cut instance: degree-``2·len(offsets)`` circulant.
+
+    The default offsets give the degree-6 graph the tiled-scaling bench
+    solves at 100k nodes; weights are ±1 when ``weighted`` (the
+    exactly-representable G-set convention) else all one.
+    """
+    u, v = circulant_edges(n, offsets)
+    edges = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
+    rng = ensure_rng(seed)
+    if weighted:
+        weights = rng.choice(np.array([-1.0, 1.0]), size=edges.shape[0])
+    else:
+        weights = np.ones(edges.shape[0], dtype=np.float64)
+    degree = 2 * len(offsets)
+    return MaxCutProblem(
+        n, edges, weights, name=name or f"circulant-{n}-d{degree}"
+    )
+
+
+def scattered_circulant_maxcut(
+    n: int,
+    offsets=(1, 2, 3),
+    weighted: bool = True,
+    seed=99,
+    name: str | None = None,
+):
+    """A circulant with scrambled node labels, plus the oracle layout.
+
+    The underlying graph is perfectly banded; the random relabelling
+    scatters its edges over the whole coupling matrix — exactly the
+    mapping problem a bandwidth-reducing reorder pass must undo.  Returns
+    ``(problem, oracle)`` where ``oracle`` is the
+    :class:`~repro.core.reorder.Permutation` that restores the planted
+    band (a real mapper does not know it; RCM has to rediscover an
+    equivalent one).
+    """
+    from repro.core.reorder import Permutation  # local import, no cycle
+
+    u, v = circulant_edges(n, offsets)
+    rng = ensure_rng(seed)
+    relabel = rng.permutation(n)
+    u, v = relabel[u], relabel[v]
+    edges = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
+    if weighted:
+        weights = rng.choice(np.array([-1.0, 1.0]), size=edges.shape[0])
+    else:
+        weights = np.ones(edges.shape[0], dtype=np.float64)
+    degree = 2 * len(offsets)
+    problem = MaxCutProblem(
+        n, edges, weights,
+        name=name or f"scattered-circulant-{n}-d{degree}",
+    )
+    oracle = np.empty(n, dtype=np.intp)
+    oracle[relabel] = np.arange(n)  # forward: scattered label → band position
+    return problem, Permutation(oracle, strategy="oracle")
+
+
+def planted_partition_maxcut(
+    n: int,
+    communities: int,
+    intra_degree: float = 8.0,
+    community_degree: float = 6.0,
+    pair_edges: int = 8,
+    hub_fraction: float = 0.04,
+    hub_bias: float = 0.95,
+    weighted: bool = True,
+    seed=0,
+    name: str | None = None,
+):
+    """Clustered Max-Cut instance: a planted-partition (SBM) graph.
+
+    ``communities`` equal-sized clusters (``n`` must divide evenly) with
+    a dense random subgraph inside each, connected through a sparse
+    random community-level graph — the structure of social/community
+    networks, and the instance family where bandwidth reordering is the
+    wrong objective (there is no hidden band to recover) while min-cut
+    partitioning aligns whole clusters onto crossbar tiles.
+
+    Parameters
+    ----------
+    intra_degree:
+        Average degree of the uniform random subgraph inside a community.
+    community_degree:
+        Average degree of the random community-level graph; only the
+        sampled community pairs exchange edges ("sparse inter-block
+        edges"), so the clustered structure survives at any size.
+    pair_edges:
+        Edges drawn between each connected community pair.
+    hub_fraction / hub_bias:
+        Degree correction: the first ``hub_fraction`` share of every
+        community are hubs, each starred to half its community, and every
+        inter-community endpoint lands on a hub with probability
+        ``hub_bias`` (communities talk through their hubs — the
+        degree-corrected SBM shape of real community graphs).  Set
+        ``hub_fraction=0`` for the vanilla uniform SBM.
+    weighted / seed / name:
+        As for the other generators.
+
+    Returns
+    -------
+    ``(problem, membership)`` — the instance (node labels scrambled, so
+    the planted clustering is hidden from the mapper) and the
+    ground-truth community id per (scrambled) node.
+    """
+    n = check_count("n", n, minimum=2)
+    communities = check_count("communities", communities, minimum=1)
+    pair_edges = check_count("pair_edges", pair_edges)
+    check_probability("hub_bias", hub_bias)
+    if n % communities != 0:
+        raise ValueError(
+            f"n={n} must divide into {communities} equal communities "
+            f"(community size n/communities keeps the planted structure "
+            f"exact)"
+        )
+    size = n // communities
+    if size < 2:
+        raise ValueError("communities must hold at least 2 nodes each")
+    if not 0.0 <= hub_fraction < 1.0:
+        raise ValueError(f"hub_fraction must be in [0, 1), got {hub_fraction}")
+    rng = ensure_rng(seed)
+    num_hubs = int(round(hub_fraction * size))
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for c in range(communities):
+        base = c * size
+        m_in = min(int(round(intra_degree * size / 2.0)), size * (size - 1) // 2)
+        intra, _ = random_edge_set(size, m_in, seed=rng)
+        rows.append(base + intra[:, 0])
+        cols.append(base + intra[:, 1])
+        for h in range(num_hubs):
+            star = rng.choice(np.arange(1, size), size=size // 2, replace=False)
+            rows.append(np.full(star.size, base + h, dtype=np.intp))
+            cols.append(base + star)
+    if communities > 1:
+        m_c = min(
+            int(round(community_degree * communities / 2.0)),
+            communities * (communities - 1) // 2,
+        )
+        community_pairs, _ = random_edge_set(communities, m_c, seed=rng)
+
+        def endpoints(comm: int) -> np.ndarray:
+            local = rng.integers(0, size, size=pair_edges)
+            if num_hubs:
+                hub = rng.random(pair_edges) < hub_bias
+                local = np.where(
+                    hub, rng.integers(0, num_hubs, size=pair_edges), local
+                )
+            return comm * size + local
+
+        for a, b in community_pairs:
+            rows.append(endpoints(int(a)))
+            cols.append(endpoints(int(b)))
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    keep = r != c
+    r, c = r[keep], c[keep]
+    key = np.minimum(r, c) * n + np.maximum(r, c)
+    _, first = np.unique(key, return_index=True)
+    r, c = r[first], c[first]
+    if weighted:
+        weights = rng.choice(np.array([-1.0, 1.0]), size=r.size)
+    else:
+        weights = np.ones(r.size, dtype=np.float64)
+    relabel = rng.permutation(n)
+    membership = np.empty(n, dtype=np.intp)
+    membership[relabel] = np.arange(n) // size
+    edges = np.stack(
+        [np.minimum(relabel[r], relabel[c]), np.maximum(relabel[r], relabel[c])],
+        axis=1,
+    )
+    problem = MaxCutProblem(
+        n, edges, weights,
+        name=name or f"planted-partition-{n}-c{communities}",
+    )
+    return problem, membership

@@ -41,6 +41,7 @@ import numpy as np
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
     check_choice,
+    check_count,
     check_permutation,
     check_spin_vector,
     check_square_symmetric,
@@ -304,9 +305,7 @@ class SparseIsingModel:
         are local to the block (``global = b * tile_size + local``).  One
         O(nnz log nnz) pass; the dense ``(n, n)`` matrix is never formed.
         """
-        s = int(tile_size)
-        if s < 1:
-            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        s = check_count("tile_size", tile_size)
         if self._data.size == 0:
             return {}
         grid = -(-self._n // s)  # ceil division

@@ -115,6 +115,31 @@ class TestTiledMachineGoldens:
         assert mono.anneal.best_energy == energy
         assert mono.anneal.accepted == accepted
 
+    #: tile_size -> (winning strategy, active tiles) of the ``auto``
+    #: scorer on the golden instance.  ``auto`` now races RCM against the
+    #: multilevel min-cut partition by exact active-tile count; both
+    #: passes are deterministic, so the winner — and its exact tile count
+    #: — is a pinnable value.  At tile 16 RCM's band (14 tiles) beats the
+    #: partition layout (16) and the identity (16); at tile 25 nothing
+    #: strictly beats the identity's 9 tiles and auto keeps it.
+    GOLDEN_AUTO_SCORER = {16: ("rcm", 14), 25: (None, 9)}
+
+    @pytest.mark.parametrize("tile_size", sorted(GOLDEN_AUTO_SCORER))
+    def test_pinned_auto_scorer_is_deterministic(self, golden_problem, tile_size):
+        from repro.core import count_active_tiles, reorder_permutation
+
+        model = golden_problem.to_ising(backend="sparse")
+        strategy, tiles = self.GOLDEN_AUTO_SCORER[tile_size]
+        first = reorder_permutation(model, "auto", tile_size=tile_size)
+        second = reorder_permutation(model, "auto", tile_size=tile_size)
+        if strategy is None:
+            assert first is None and second is None
+            assert count_active_tiles(model, tile_size) == tiles
+        else:
+            assert first.strategy == second.strategy == strategy
+            assert np.array_equal(first.forward, second.forward)
+            assert first.estimated_active_tiles(tile_size) == tiles
+
     #: The reordered tiled machine pins the *same* values as GOLDEN_TILED:
     #: reordering is an internal layout change and ±1 weights store
     #: exactly, so the quantized image's representability story — and the
@@ -122,7 +147,7 @@ class TestTiledMachineGoldens:
     #: regression that splits the two paths is caught by name.
     GOLDEN_TILED_REORDERED = (46.0, -48.0, 173)
 
-    @pytest.mark.parametrize("reorder", ["rcm", "auto"])
+    @pytest.mark.parametrize("reorder", ["rcm", "partition", "auto"])
     def test_pinned_reordered_machine_run(self, golden_problem, reorder):
         cut, energy, accepted = self.GOLDEN_TILED_REORDERED
         assert self.GOLDEN_TILED_REORDERED == self.GOLDEN_TILED

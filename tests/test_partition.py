@@ -1,0 +1,234 @@
+"""Unit and property tests for the multilevel min-cut partition subsystem.
+
+The partitioner must produce *valid* tile-aligned partitions (exact block
+sizes, bijective block-contiguous permutation), its active-tile estimate
+must match what a :class:`TiledCrossbar` actually instantiates, every run
+must be deterministic (the ``auto`` scorer relies on it), and on clustered
+instances it must beat both the identity scatter and the bandwidth
+objective.  Transparency (bit-identical solves) is pinned in
+``tests/test_reorder.py`` alongside the other reordering passes; the
+``reorder="auto"`` golden lives in ``tests/test_golden_regression.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import InSituCimAnnealer, TiledCrossbar
+from repro.core import (
+    Partitioning,
+    count_active_tiles,
+    partition_model,
+    partition_permutation,
+    rcm_permutation,
+    reorder_permutation,
+    solve_ising,
+)
+from repro.ising import IsingModel, SparseIsingModel, planted_partition_maxcut
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingModel:
+    """Seeded random sparse model with exactly-representable couplings."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 40))
+    m = int(rng.integers(n, 3 * n))
+    pairs = rng.choice(n * (n - 1) // 2, size=min(m, n * (n - 1) // 2), replace=False)
+    rows, cols = np.triu_indices(n, k=1)
+    r, c = rows[pairs], cols[pairs]
+    vals = rng.integers(-8, 9, size=r.size) / 8.0
+    keep = vals != 0
+    h = rng.integers(-8, 9, size=n) / 8.0 if with_fields else None
+    return SparseIsingModel.from_edges(
+        n, r[keep], c[keep], vals[keep], h, offset=0.25, name=f"dyadic-{n}"
+    )
+
+
+def clustered_model(
+    n: int = 3072, communities: int = 6, seed: int = 5
+) -> SparseIsingModel:
+    """Small planted-partition instance on the sparse backend."""
+    problem, _ = planted_partition_maxcut(n, communities, seed=seed)
+    model = problem.to_ising(backend="sparse")
+    assert isinstance(model, SparseIsingModel)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Partition validity
+# ----------------------------------------------------------------------
+class TestPartitionValidity:
+    @relaxed
+    @given(seed=st.integers(0, 10_000), tile=st.sampled_from([2, 4, 8]))
+    def test_blocks_are_tile_aligned(self, seed, tile):
+        """Every block holds exactly ``tile_size`` spins (last: remainder)."""
+        model = dyadic_sparse_model(seed)
+        part = partition_model(model, tile)
+        assert part.is_tile_aligned
+        assert part.balance == 1.0
+        assert part.num_blocks == -(-model.num_spins // tile)
+        sizes = part.block_sizes()
+        assert sizes.sum() == model.num_spins
+        assert np.all(sizes[:-1] == tile)
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_permutation_is_block_contiguous(self, seed):
+        """Position ``forward[v] // tile`` is exactly v's block id."""
+        model = dyadic_sparse_model(seed)
+        part = partition_model(model, 4)
+        perm = part.to_permutation()
+        assert perm.strategy == "partition"
+        assert np.array_equal(perm.forward // 4, part.assignment)
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_estimate_matches_machine_exactly(self, seed):
+        """``estimated_active_tiles`` equals ``TiledCrossbar.num_tiles``."""
+        model = dyadic_sparse_model(seed)
+        part = partition_model(model, 4)
+        stored = model.permuted(part.to_permutation())
+        assert (
+            TiledCrossbar(stored, tile_size=4).num_tiles
+            == part.estimated_active_tiles()
+            == part.to_permutation().estimated_active_tiles(4)
+        )
+
+    def test_deterministic(self):
+        """Repeated runs return the identical assignment (auto relies on it)."""
+        model = clustered_model()
+        a = partition_model(model, 64)
+        b = partition_model(model, 64)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.edge_cut == b.edge_cut
+
+    def test_edge_cut_matches_direct_count(self):
+        model = dyadic_sparse_model(42)
+        part = partition_model(model, 4)
+        indptr, indices, data = model.csr_arrays()
+        rows = np.repeat(np.arange(model.num_spins), np.diff(indptr))
+        a = part.assignment
+        off = rows != indices
+        direct = float(
+            np.abs(data[off][a[rows[off]] != a[indices[off]]]).sum() / 2.0
+        )
+        assert part.edge_cut == direct
+
+    def test_single_block_is_trivial(self):
+        model = dyadic_sparse_model(7)
+        part = partition_model(model, model.num_spins + 5)
+        assert part.num_blocks == 1
+        assert np.all(part.assignment == 0)
+        assert part.edge_cut == 0.0
+        assert part.to_permutation().is_identity
+
+    def test_edgeless_model_partitions_cleanly(self):
+        model = SparseIsingModel.from_edges(10, [0], [1], [0.0])  # dropped zero
+        part = partition_model(model, 4)
+        assert part.is_tile_aligned
+        assert part.edge_cut == 0.0
+
+    def test_dense_model_accepted(self):
+        sparse = dyadic_sparse_model(11)
+        dense = sparse.to_dense()
+        assert isinstance(dense, IsingModel)
+        assert np.array_equal(
+            partition_model(dense, 4).assignment,
+            partition_model(sparse, 4).assignment,
+        )
+
+
+# ----------------------------------------------------------------------
+# Layout quality on clustered instances
+# ----------------------------------------------------------------------
+class TestClusteredQuality:
+    def test_partition_beats_rcm_and_identity(self):
+        """On an SBM, min-cut blocks beat both bandwidth and the scatter."""
+        model = clustered_model()
+        tile = 64
+        part_tiles = partition_permutation(model, tile).estimated_active_tiles(tile)
+        rcm_tiles = rcm_permutation(model).estimated_active_tiles(tile)
+        identity_tiles = count_active_tiles(model, tile)
+        assert part_tiles * 2 <= rcm_tiles
+        assert part_tiles * 2 <= identity_tiles
+
+    def test_auto_prefers_partition_on_clustered_instance(self):
+        model = clustered_model()
+        perm = reorder_permutation(model, "auto", tile_size=64)
+        assert perm is not None
+        assert perm.strategy == "partition"
+
+    def test_machine_reports_partition_ordering(self):
+        model = clustered_model(1024, 4, seed=9)
+        machine = InSituCimAnnealer(
+            model, tile_size=64, reorder="partition", seed=0
+        )
+        assert machine.permutation is not None
+        assert machine.mapping.ordering == "partition"
+        assert machine.crossbar.num_tiles == (
+            machine.permutation.estimated_active_tiles(64)
+        )
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestPartitionValidation:
+    def test_partition_requires_tile_size(self):
+        model = dyadic_sparse_model(1)
+        with pytest.raises(ValueError, match="tile_size"):
+            reorder_permutation(model, "partition")
+        with pytest.raises(ValueError, match="tile_size"):
+            InSituCimAnnealer(model, reorder="partition", seed=0)
+        with pytest.raises(ValueError, match="tile_size"):
+            solve_ising(model, iterations=10, reorder="partition")
+
+    @pytest.mark.parametrize("bad", [True, False, 0, -3, 2.5])
+    def test_tile_size_validated_everywhere(self, bad):
+        """``check_count`` guards every tile_size entry point.
+
+        Booleans (``True`` would silently mean 1) and non-positive or
+        fractional counts must fail loudly in the partitioner, the
+        estimators, and the CSR block extraction alike.
+        """
+        model = dyadic_sparse_model(2)
+        perm = rcm_permutation(model)
+        for call in (
+            lambda: partition_model(model, bad),
+            lambda: partition_permutation(model, bad),
+            lambda: perm.estimated_active_tiles(bad),
+            lambda: count_active_tiles(model, bad),
+            lambda: model.block_partition(bad),
+            lambda: reorder_permutation(model, "auto", tile_size=bad),
+            lambda: Partitioning(np.zeros(4, dtype=np.intp), bad, 0.0),
+        ):
+            with pytest.raises(ValueError, match="tile_size"):
+                call()
+
+    def test_misaligned_partitioning_rejects_permutation_export(self):
+        bad = Partitioning(np.array([0, 0, 0, 1]), 2, edge_cut=0.0)
+        assert not bad.is_tile_aligned
+        with pytest.raises(ValueError, match="not tile-aligned"):
+            bad.to_permutation()
+
+    def test_assignment_range_checked(self):
+        with pytest.raises(ValueError, match="block ids"):
+            Partitioning(np.array([0, 5, 0, 1]), 2, edge_cut=0.0)
+
+    def test_generator_requires_divisible_communities(self):
+        with pytest.raises(ValueError, match="equal communities"):
+            planted_partition_maxcut(100, 7)
+
+    def test_generator_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError, match="hub_bias"):
+            planted_partition_maxcut(100, 4, hub_bias=1.5)
+        with pytest.raises(ValueError, match="hub_fraction"):
+            planted_partition_maxcut(100, 4, hub_fraction=-0.1)

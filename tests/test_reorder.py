@@ -24,6 +24,7 @@ from repro.core import (
     count_active_tiles,
     degree_permutation,
     graph_bandwidth,
+    partition_permutation,
     rcm_permutation,
     reorder_permutation,
     solve_ising,
@@ -185,22 +186,72 @@ class TestSolverEquivalence:
         assert mapped.best_energy == base.best_energy
         assert np.array_equal(mapped.best_sigma, base.best_sigma)
 
+    @relaxed
+    @given(
+        seed=st.integers(0, 10_000),
+        method=st.sampled_from(["insitu", "sa", "mesa"]),
+    )
+    def test_partition_layout_is_bit_identical(self, seed, method):
+        """The min-cut block layout obeys the same transparency contract.
+
+        A partition permutation is just another declared layout, so every
+        solver family must return the bit-identical fixed-seed trajectory
+        under it — the clustered-instance analogue of the RCM property
+        above.
+        """
+        model = dyadic_sparse_model(seed, with_fields=True)
+        p = partition_permutation(model, 4)
+        base = solve_ising(model, method=method, iterations=200, seed=7)
+        mapped = solve_ising(
+            model.permuted(p), method=method, iterations=200, seed=7,
+            permutation=p,
+        )
+        assert mapped.energy == base.energy
+        assert mapped.best_energy == base.best_energy
+        assert mapped.accepted == base.accepted
+        assert np.array_equal(mapped.sigma, base.sigma)
+        assert np.array_equal(mapped.best_sigma, base.best_sigma)
+
+    @relaxed
+    @given(
+        seed=st.integers(0, 10_000),
+        method=st.sampled_from(["insitu", "sa"]),
+    )
+    def test_partition_layout_batch_multiflip_bit_identical(self, seed, method):
+        """Rank-t replica batches under a partition layout coincide too."""
+        model = dyadic_sparse_model(seed)
+        p = partition_permutation(model, 4)
+        base = solve_ising(
+            model, method=method, iterations=120, seed=3,
+            replicas=4, flips_per_iteration=3,
+        )
+        mapped = solve_ising(
+            model.permuted(p), method=method, iterations=120, seed=3,
+            replicas=4, flips_per_iteration=3, permutation=p,
+        )
+        assert np.array_equal(mapped.best_energies, base.best_energies)
+        assert np.array_equal(mapped.accepted, base.accepted)
+        assert np.array_equal(mapped.final_sigmas, base.final_sigmas)
+        assert np.array_equal(mapped.best_sigma, base.best_sigma)
+
 
 # ----------------------------------------------------------------------
 # Tiled-machine equivalence + occupancy
 # ----------------------------------------------------------------------
 class TestTiledReordering:
-    def test_tiled_solve_bit_identical_under_rcm(self):
+    @pytest.mark.parametrize("reorder", ["rcm", "partition"])
+    def test_tiled_solve_bit_identical_under_reordering(self, reorder):
         model = scattered_circulant(600)
         base = solve_ising(model, iterations=400, seed=11, tile_size=32)
-        rcm = solve_ising(
-            model, iterations=400, seed=11, tile_size=32, reorder="rcm"
+        mapped = solve_ising(
+            model, iterations=400, seed=11, tile_size=32, reorder=reorder
         )
-        assert rcm.best_energy == base.best_energy
-        assert rcm.accepted == base.accepted
-        assert np.array_equal(rcm.best_sigma, base.best_sigma)
+        assert mapped.best_energy == base.best_energy
+        assert mapped.accepted == base.accepted
+        assert np.array_equal(mapped.best_sigma, base.best_sigma)
 
-    def test_fielded_model_ancilla_survives_reordering(self):
+    @pytest.mark.parametrize("reorder", ["rcm", "partition"])
+    def test_fielded_model_ancilla_survives_reordering(self, reorder):
         """Field fold → reorder → inverse map → ancilla strip round-trips.
 
         The ancilla spin is pinned at its conventional position in the
