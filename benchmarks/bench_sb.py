@@ -1,0 +1,238 @@
+"""Simulated bifurcation vs single-flip annealing: time to 0.9× best-known.
+
+The pitch for the SB solver family is wall-time-to-quality on dense-ish
+instances: every spin moves on every step for the price of one coupling
+matvec, where a single-flip engine must pay one iteration per moved spin.
+This bench pits dSB — its matvec served by the tiled crossbar's
+digitally-combined behavioral MVM (:meth:`TiledCrossbar.batch_matvec`),
+the machine framing the engine is built for — against the batch
+single-flip in-situ and direct-E engines at a *matched replica count* on
+a K2000-style instance (complete graph, ±1 weights, so ``J = W/4`` is
+dyadic and the k-bit stored image is exact), and asserts:
+
+* **time to 0.9× best-known** — each engine runs fresh solves at doubling
+  iteration budgets until its best cut reaches 0.9× the best-known cut
+  (proxied by the strongest configuration observed across the bench, from
+  a generous dSB reference run); dSB must get there ≥ 5× faster in wall
+  time than *each* flip engine at the full size (≥ 2× at reduced CI smoke
+  sizes).  Budget-capped flip engines count their spent time as a lower
+  bound, which only understates the ratio.
+* **no densification** — the coupling matrix is never materialised as one
+  ``(n, n)`` array (``toarray`` and the full ``matrix_hat`` image are
+  trapped for the whole run); the crossbar holds per-tile blocks only,
+  O(nnz) for the stored entries.
+* **O(R·n + nnz) solve memory** — peak traced memory across all solves
+  stays within an explicit replica-state + CSR-transient budget.
+* **exact readout** — reported SB best energies reproduce from the
+  returned configurations on the *true* (unquantized) model, pinning the
+  stored-image exactness story end to end.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SB_BENCH_NODES``     — node count (default 2 048).
+* ``REPRO_SB_BENCH_REPLICAS``  — replica count R (default 4).
+* ``REPRO_SB_BENCH_TILE``      — crossbar tile size (default 256).
+* ``REPRO_SB_BENCH_REF_ITERS`` — dSB reference-run budget (default 1 600).
+* ``REPRO_SB_BENCH_FLIP_CAP``  — flip-engine budget cap (default 256 000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from benchmarks._common import emit, forbid_densification
+from repro.arch.tiling import TiledCrossbar
+from repro.core import BatchDirectEAnnealer, BatchInSituAnnealer, SbEngine
+from repro.ising.sparse import SparseIsingModel
+from repro.utils.tables import render_table
+
+BENCH_NODES = int(os.environ.get("REPRO_SB_BENCH_NODES", "2048"))
+BENCH_REPLICAS = int(os.environ.get("REPRO_SB_BENCH_REPLICAS", "4"))
+BENCH_TILE = int(os.environ.get("REPRO_SB_BENCH_TILE", "256"))
+BENCH_REF_ITERS = int(os.environ.get("REPRO_SB_BENCH_REF_ITERS", "1600"))
+BENCH_FLIP_CAP = int(os.environ.get("REPRO_SB_BENCH_FLIP_CAP", "256000"))
+SB_START_BUDGET = 25
+FLIP_START_BUDGET = 4000
+TARGET_FRACTION = 0.9
+SEED = 2028
+
+#: Peak-memory budget (bytes) for the solve phase: replica state and
+#: matvec temporaries (R·n), CSR-sized transients (nnz) and interpreter /
+#: base overhead.  The (n, n) dense matrix at the full size is ~34 MB per
+#: copy on top of the already-traced tile blocks and busts this together
+#: with the densification traps.
+BYTES_PER_STATE = 64
+BYTES_PER_NNZ = 64
+BYTES_BASE = 64 * 1024 * 1024
+
+
+def k_instance(n: int, seed: int = 7) -> tuple[SparseIsingModel, float]:
+    """K2000-style instance: complete graph, ±1 weights (J = W/4 dyadic)."""
+    rng = np.random.default_rng(seed)
+    r, c = np.triu_indices(n, k=1)
+    w = rng.choice([-1.0, 1.0], size=r.size)
+    model = SparseIsingModel.from_edges(n, r, c, w / 4.0, name=f"K{n}-pm1")
+    return model, float(w.sum())
+
+
+def time_to_target(run_at_budget, budgets, target_cut):
+    """First-success wall time over fresh solves at doubling budgets.
+
+    Each budget is an independent fixed-seed solve (schedule retuned to the
+    budget, as a practitioner would), so the reported time is that of the
+    one run that reached the target — not the cumulative search.  Returns
+    ``(seconds, budget, best_cut, reached)``; a capped engine reports its
+    last (largest) run as a lower bound with ``reached=False``.
+    """
+    elapsed, budget, best = float("nan"), 0, -np.inf
+    for budget in budgets:
+        start = time.perf_counter()
+        best = run_at_budget(budget)
+        elapsed = time.perf_counter() - start
+        if best >= target_cut:
+            return elapsed, budget, best, True
+    return elapsed, budget, best, False
+
+
+def test_sb_time_to_target(capsys):
+    """dSB reaches 0.9× best-known ≥5× faster than the flip engines."""
+    R = BENCH_REPLICAS
+    model, w_sum = k_instance(BENCH_NODES)
+    n, nnz = model.num_spins, model.nnz
+
+    def as_cut(energies) -> float:
+        return float(w_sum / 2.0 - np.min(energies))
+
+    sb_budgets = [
+        SB_START_BUDGET * 2**k
+        for k in range(32)
+        if SB_START_BUDGET * 2**k <= BENCH_REF_ITERS
+    ]
+    flip_budgets = [
+        FLIP_START_BUDGET * 2**k
+        for k in range(32)
+        if FLIP_START_BUDGET * 2**k <= BENCH_FLIP_CAP
+    ]
+
+    with forbid_densification():
+        # Program the crossbar once (the machine's one-off write phase;
+        # the hardware cost ledgers account for it separately) — the SB
+        # solves below are served by its per-tile behavioral MVM.  The
+        # build shards straight from CSR under the same densification
+        # traps as the solves; only the solve phase is memory-traced.
+        crossbar = TiledCrossbar(model, tile_size=BENCH_TILE)
+        stored = crossbar.stored_model(name=f"{model.name}@tiled")
+
+        # Best-known proxy: the strongest configuration this bench ever
+        # observes, from a generous dSB reference run (asserted below to
+        # dominate every other run).
+        reference = SbEngine(
+            stored, replicas=R, seed=SEED, matvec=crossbar.batch_matvec
+        ).run(BENCH_REF_ITERS)
+        best_known = as_cut(reference.best_energies)
+        target = TARGET_FRACTION * best_known
+
+        sb_result = {}
+
+        def run_sb(budget):
+            result = SbEngine(
+                stored, replicas=R, seed=SEED + 1,
+                matvec=crossbar.batch_matvec,
+            ).run(budget)
+            sb_result["last"] = result
+            return as_cut(result.best_energies)
+
+        def run_flip(engine_cls):
+            def run(budget):
+                result = engine_cls(model, replicas=R, seed=SEED + 1).run(budget)
+                return as_cut(result.best_energies)
+
+            return run
+
+        sb_time, sb_budget, sb_cut, sb_reached = time_to_target(
+            run_sb, sb_budgets, target
+        )
+        flip_rows = {
+            label: time_to_target(run_flip(cls), flip_budgets, target)
+            for label, cls in (
+                ("insitu", BatchInSituAnnealer),
+                ("sa", BatchDirectEAnnealer),
+            )
+        }
+
+        # Memory probe, separate from the timed runs above: tracemalloc
+        # adds per-allocation overhead that would skew the wall-time
+        # comparison (the flip engines allocate every iteration), so the
+        # budget is asserted on dedicated representative solves.
+        tracemalloc.start()
+        SbEngine(
+            stored, replicas=R, seed=SEED + 2, matvec=crossbar.batch_matvec
+        ).run(max(sb_budgets[0], 50))
+        BatchInSituAnnealer(model, replicas=R, seed=SEED + 2).run(
+            FLIP_START_BUDGET
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    # The reported SB energies are *true* model energies: ±1 weights make
+    # the k-bit stored image exact, so the stored-model readouts reproduce
+    # on the unquantized couplings.
+    last = sb_result["last"]
+    r_best = int(np.argmin(last.best_energies))
+    assert model.energy(last.best_sigmas[r_best]) == last.best_energies[r_best]
+    assert sb_reached, (
+        f"dSB never reached the {TARGET_FRACTION}× target within "
+        f"{BENCH_REF_ITERS} iterations — SB quality has regressed"
+    )
+
+    rows = [
+        (
+            "dSB@tiled",
+            f"{sb_budget}",
+            f"{sb_cut:.0f}",
+            f"{sb_time:.2f} s",
+            "1.0x",
+        )
+    ]
+    full_size = BENCH_NODES >= 2048 and BENCH_FLIP_CAP >= 256000
+    floor = 5.0 if full_size else 2.0
+    for label, (f_time, f_budget, f_cut, f_reached) in flip_rows.items():
+        # The best-known proxy must dominate every observed configuration,
+        # otherwise the target itself was mis-set.
+        assert f_cut <= best_known
+        ratio = f_time / sb_time
+        rows.append(
+            (
+                label,
+                f"{f_budget}{'' if f_reached else ' (cap)'}",
+                f"{f_cut:.0f}",
+                f"{'' if f_reached else '> '}{f_time:.2f} s",
+                f"{ratio:.1f}x",
+            )
+        )
+        # A capped engine's spent time is a lower bound on its
+        # time-to-target, so the assertion only gets easier to fail.
+        assert ratio >= floor, (
+            f"dSB only {ratio:.2f}x faster than {label} to "
+            f"{TARGET_FRACTION}x best-known (floor {floor}x)"
+        )
+
+    budget = BYTES_PER_STATE * R * n + BYTES_PER_NNZ * nnz + BYTES_BASE
+    table = render_table(
+        ["engine", "iterations", "best cut", "time to 0.9x", "vs dSB"],
+        rows,
+        title=(
+            f"Time to {TARGET_FRACTION}x best-known ({best_known:.0f}) — "
+            f"{model.name}, R={R}, tile {BENCH_TILE}"
+        ),
+    )
+    emit(capsys, "sb", table)
+
+    assert peak <= budget, (
+        f"peak {peak / 1e6:.1f} MB exceeds O(R·n + nnz) budget "
+        f"{budget / 1e6:.1f} MB — a dense intermediate has crept in"
+    )

@@ -324,6 +324,53 @@ class TiledCrossbar:
             settle_time=max_settle,
         )
 
+    def matvec(self, x, validate: bool = True) -> np.ndarray:
+        """Digitally-combined behavioral MVM ``Ĵ x`` over the tile grid.
+
+        Every programmed tile evaluates its block's partial product
+        ``Ĵ[r0:r1, c0:c1] · x[c0:c1]`` in parallel (read at
+        ``V_BG^{max}``, where the shared-rail factor is exactly 1) and the
+        partial sums are combined digitally per output row — the extra
+        adder-tree level of the sharded array.  O(tiles · s²) work, no
+        dense ``(n, n)`` assembly.  For dyadic stored images and ±1
+        drives every partial sum is exact, so the result is bit-identical
+        to :meth:`stored_model`'s CSR SpMV — which is what lets the
+        simulated-bifurcation engines run on the tiled machine without a
+        separate golden.  The input is not restricted to spins: bSB
+        drives the array with continuous DAC levels.
+        """
+        v = np.asarray(x, dtype=np.float64)
+        if validate and v.shape != (self.n,):
+            raise ValueError(f"input vector must have shape ({self.n},)")
+        out = np.zeros(self.n)
+        for (bi, bj), tile in self._tiles.items():
+            r0, r1 = self._bounds[bi]
+            c0, c1 = self._bounds[bj]
+            out[r0:r1] += tile.matrix_hat[: r1 - r0, : c1 - c0] @ v[c0:c1]
+        return out
+
+    def batch_matvec(self, x, validate: bool = True) -> np.ndarray:
+        """``(R, n)`` products ``Ĵ x_r``, one tile pass for all replicas.
+
+        The replica batch is time-multiplexed onto the same grid: each
+        tile's block multiplies every replica's column slice in one
+        matmul, partial sums combined digitally as in :meth:`matvec`.
+        This is the ``matvec=`` hook :class:`~repro.core.sb.SbEngine`
+        consumes on the tiled-machine path.
+        """
+        v = np.asarray(x, dtype=np.float64)
+        if v.ndim == 1:
+            return self.matvec(v, validate=validate)
+        if validate and (v.ndim != 2 or v.shape[1] != self.n):
+            raise ValueError(f"input batch must have shape (R, {self.n})")
+        out = np.zeros(v.shape)
+        for (bi, bj), tile in self._tiles.items():
+            r0, r1 = self._bounds[bi]
+            c0, c1 = self._bounds[bj]
+            block = tile.matrix_hat[: r1 - r0, : c1 - c0]
+            out[:, r0:r1] += v[:, c0:c1] @ block.T
+        return out
+
     # ------------------------------------------------------------------
     # Programming cost
     # ------------------------------------------------------------------

@@ -42,6 +42,12 @@ def _cmd_solve(args) -> int:
     reference = None
     if args.reference:
         reference = compute_reference_cut(problem, restarts=2)
+    if args.method == "sb":
+        # SB integrates positions instead of proposing flip sets, so the
+        # flip-count knob does not apply; the variant knob does.
+        solver_kwargs = {"variant": args.sb_variant}
+    else:
+        solver_kwargs = {"flips_per_iteration": args.flips}
     result = solve_maxcut(
         problem,
         method=args.method,
@@ -52,7 +58,7 @@ def _cmd_solve(args) -> int:
         tile_size=args.tile_size,
         reorder=args.reorder,
         replicas=args.replicas,
-        flips_per_iteration=args.flips,
+        **solver_kwargs,
     )
     print(result.summary())
     if reference is not None:
@@ -166,13 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = sub.add_parser("solve", help="solve a Gset-format instance")
     solve.add_argument("instance", help="path to a Gset file")
-    solve.add_argument("--method", choices=("insitu", "sa", "mesa"), default="insitu")
+    solve.add_argument("--method", choices=("insitu", "sa", "mesa", "sb"),
+                       default="insitu",
+                       help="annealer family (sb = simulated bifurcation: "
+                            "one coupling matvec per step, all spins move "
+                            "at once — strongest on dense-ish instances)")
+    solve.add_argument("--sb-variant", choices=("ballistic", "discrete"),
+                       default="discrete", metavar="V",
+                       help="SB flavour when --method sb: 'discrete' (dSB, "
+                            "default) feeds the matvec sign readouts, "
+                            "'ballistic' (bSB) feeds continuous positions")
     solve.add_argument("--backend", choices=("auto", "dense", "sparse"), default="auto",
                        help="coupling backend (auto = density heuristic)")
     solve.add_argument("--tile-size", type=int, default=None, metavar="S",
                        help="solve on the tiled crossbar machine with S-row "
-                            "arrays (insitu only; sparse models shard from "
-                            "CSR without densifying)")
+                            "arrays (insitu and sb; sparse models shard "
+                            "from CSR without densifying)")
     solve.add_argument("--reorder",
                        choices=("none", "rcm", "partition", "auto"),
                        default="none",
@@ -189,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "replica-batch paths alike)")
     solve.add_argument("--replicas", type=int, default=None, metavar="R",
                        help="run R vectorised annealing replicas at once "
-                            "(insitu/sa; reports best and mean cut over "
+                            "(insitu/sa/sb; reports best and mean cut over "
                             "the batch)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--reference", action="store_true",

@@ -9,6 +9,7 @@
 * :mod:`repro.core.partition` — multilevel min-cut tile partitioning;
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
 * :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
+* :mod:`repro.core.sb` — ballistic/discrete simulated bifurcation;
 * :mod:`repro.core.solver` — one-call high-level API.
 """
 
@@ -57,6 +58,7 @@ from repro.core.reorder import (
 )
 from repro.core.results import AnnealResult, MaxCutResult
 from repro.core.sa import DirectEAnnealer, estimate_temperature_range
+from repro.core.sb import SB_VARIANTS, SbEngine, solve_sb
 from repro.core.schedule import (
     ConstantSchedule,
     GeometricSchedule,
@@ -75,6 +77,9 @@ __all__ = [
     "BatchMaxCutResult",
     "DirectEAnnealer",
     "MesaAnnealer",
+    "SbEngine",
+    "SB_VARIANTS",
+    "solve_sb",
     "AnnealResult",
     "MaxCutResult",
     "FractionalFactor",

@@ -16,6 +16,12 @@ matrix:
   rank-``t`` flip sets, and ``batch_update_fields`` applying the accepted
   replicas' rank-``t`` updates in one scatter.
 
+The simulated-bifurcation engines (:mod:`~repro.core.sb`) add one more
+pair: ``matvec(x)`` / ``batch_matvec(X)``, the plain coupling product
+``J x`` for *arbitrary real* inputs (continuous bSB positions or dSB sign
+readouts) — dense matrix product on one side, CSR ``bincount`` SpMV on
+the other, never densifying.
+
 :func:`coupling_ops` wraps a model in the matching adapter:
 :class:`DenseCouplingOps` reproduces the seed's dense numpy expressions
 verbatim, :class:`SparseCouplingOps` evaluates the same formulas over CSR
@@ -49,6 +55,19 @@ class DenseCouplingOps:
     def local_fields(self, sigma: np.ndarray) -> np.ndarray:
         """``g = J σ`` (O(n²))."""
         return self._J @ sigma
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``J x`` for an arbitrary real vector (O(n²)).
+
+        Unlike :meth:`local_fields` the input is not restricted to ±1 spin
+        vectors — the simulated-bifurcation engines drive this with
+        continuous positions (bSB) as well as sign readouts (dSB).
+        """
+        return self._J @ x
+
+    def batch_matvec(self, x: np.ndarray) -> np.ndarray:
+        """``(R, n)`` products ``J x_r`` for a batch of real vectors."""
+        return x @ self._J  # J symmetric, so the row-major product works
 
     def cross_term(self, g: np.ndarray, flips: np.ndarray, sig_f: np.ndarray) -> float:
         """``σ_rᵀ J σ_c`` from the cached local fields (O(n·|F|))."""
@@ -130,6 +149,22 @@ class SparseCouplingOps:
     def local_fields(self, sigma: np.ndarray) -> np.ndarray:
         """``g = J σ`` (O(nnz))."""
         return self._model._matvec(sigma)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``J x`` via the CSR ``bincount`` SpMV (O(nnz), no densification).
+
+        The kernel places no ±1 restriction on ``x``, so the SB engines'
+        continuous positions go through the same code path as spin
+        readouts; for dyadic couplings *and* dyadic inputs every partial
+        sum is exact and the result is bit-identical to the dense product.
+        """
+        return self._model._matvec(x)
+
+    def batch_matvec(self, x: np.ndarray) -> np.ndarray:
+        """``(R, n)`` products ``J x_r`` per replica (O(R·nnz))."""
+        # Same per-replica bincount kernel (and C-order guarantee) as
+        # batch_local_fields — see _batch_local_fields_loop.
+        return self._batch_local_fields_loop(x)
 
     def _gather_rows(self, spins: np.ndarray):
         """Concatenated neighbour lists of ``spins`` without a Python loop.

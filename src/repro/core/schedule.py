@@ -31,7 +31,12 @@ class Schedule:
         raise NotImplementedError
 
     def profile(self) -> np.ndarray:
-        """The full temperature trace, length ``iterations``."""
+        """The full temperature trace, length ``iterations``.
+
+        The built-in schedules override this with a vectorised evaluation
+        that is bit-identical to the per-iteration loop; this generic
+        fallback keeps third-party subclasses working unchanged.
+        """
         return np.array([self.temperature(i) for i in range(self.iterations)])
 
 
@@ -47,6 +52,9 @@ class ConstantSchedule(Schedule):
     def temperature(self, iteration: int) -> float:
         self._check(iteration)
         return self._t
+
+    def profile(self) -> np.ndarray:
+        return np.full(self.iterations, self._t)
 
     def _check(self, iteration: int) -> None:
         if not 0 <= iteration < self.iterations:
@@ -73,11 +81,25 @@ class GeometricSchedule(Schedule):
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = float(alpha)
+        self._temps: np.ndarray | None = None
+
+    def _temperatures(self) -> np.ndarray:
+        # One vectorised evaluation shared by temperature() and profile():
+        # numpy's pow and Python's ** can differ in the last ulp, so a
+        # single cached array is the only way both access paths stay
+        # bit-identical.  Built lazily; O(iterations) floats.
+        if self._temps is None:
+            powers = np.power(self.alpha, np.arange(self.iterations))
+            self._temps = np.maximum(self.t_start * powers, self.t_end)
+        return self._temps
 
     def temperature(self, iteration: int) -> float:
         if not 0 <= iteration < self.iterations:
             raise IndexError(f"iteration {iteration} outside schedule")
-        return max(self.t_start * self.alpha**iteration, self.t_end)
+        return float(self._temperatures()[iteration])
+
+    def profile(self) -> np.ndarray:
+        return self._temperatures().copy()
 
 
 class LinearSchedule(Schedule):
@@ -96,6 +118,12 @@ class LinearSchedule(Schedule):
         if self.iterations == 1:
             return self.t_start
         frac = iteration / (self.iterations - 1)
+        return self.t_start + (self.t_end - self.t_start) * frac
+
+    def profile(self) -> np.ndarray:
+        if self.iterations == 1:
+            return np.array([self.t_start])
+        frac = np.arange(self.iterations) / (self.iterations - 1)
         return self.t_start + (self.t_end - self.t_start) * frac
 
 
@@ -118,7 +146,13 @@ class VbgStepSchedule(Schedule):
         Grid walk parameters (defaults: 0.7 V → 0 V in 10 mV steps).
     hold:
         Iterations per level; default spreads the full walk evenly over the
-        run so the last level is reached at the end.
+        run so the last level is reached at the end.  When the run is
+        shorter than the grid (``iterations < num_levels``) the default
+        compresses the grid instead — ``iterations`` evenly spaced levels
+        with the final one pinned to ``v_end`` — so every run, however
+        short, still terminates at the terminal voltage as the paper's
+        schedule contract requires ("terminates when V_BG reaches 0 V").
+        An explicit ``hold`` takes the walk as given and may truncate.
     """
 
     def __init__(
@@ -141,7 +175,21 @@ class VbgStepSchedule(Schedule):
         levels = int(round((self.v_start - self.v_end) / self.step)) + 1
         self.num_levels = max(levels, 1)
         if hold is None:
-            hold = max(1, iterations // self.num_levels)
+            if self.iterations < self.num_levels:
+                # The walk cannot fit one iteration per grid level.  The
+                # old default (hold = max(1, iterations // num_levels) = 1)
+                # silently truncated the walk partway down, so a short run
+                # never reached v_end.  Compress the grid instead: one
+                # level per iteration, step scaled so the final level lands
+                # exactly on v_end (a 1-iteration run sits at v_end).
+                self.num_levels = self.iterations
+                if self.num_levels > 1:
+                    self.step = (self.v_start - self.v_end) / (self.num_levels - 1)
+                else:
+                    self.v_start = self.v_end
+                hold = 1
+            else:
+                hold = self.iterations // self.num_levels
         if hold < 1:
             raise ValueError("hold must be >= 1")
         self.hold = int(hold)
@@ -157,8 +205,23 @@ class VbgStepSchedule(Schedule):
         return float(self.factor.temperature_for_vbg(self.vbg(iteration)))
 
     def vbg_profile(self) -> np.ndarray:
-        """Full V_BG trace, length ``iterations``."""
-        return np.array([self.vbg(i) for i in range(self.iterations)])
+        """Full V_BG trace, length ``iterations`` (vectorised).
+
+        Same level arithmetic as :meth:`vbg` evaluated array-wide —
+        integer floor-divide, multiply, clamp — so it is bit-identical to
+        the per-iteration loop.
+        """
+        level = np.minimum(
+            np.arange(self.iterations) // self.hold, self.num_levels - 1
+        )
+        return np.maximum(self.v_start - level * self.step, self.v_end)
+
+    def profile(self) -> np.ndarray:
+        # temperature_for_vbg is a linear elementwise map, so evaluating it
+        # on the whole V_BG trace is bit-identical to the scalar loop.
+        return np.asarray(
+            self.factor.temperature_for_vbg(self.vbg_profile()), dtype=np.float64
+        )
 
     def dac_updates(self) -> int:
         """Number of BG rail reprogrammings over the run (level changes)."""
@@ -180,3 +243,9 @@ class ReverseVbgSchedule(VbgStepSchedule):
             raise IndexError(f"iteration {iteration} outside schedule")
         level = min(iteration // self.hold, self.num_levels - 1)
         return min(self.v_end + level * self.step, self.v_start)
+
+    def vbg_profile(self) -> np.ndarray:
+        level = np.minimum(
+            np.arange(self.iterations) // self.hold, self.num_levels - 1
+        )
+        return np.minimum(self.v_end + level * self.step, self.v_start)

@@ -44,7 +44,7 @@ from repro.core.sa import DirectEAnnealer
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel, as_backend
-from repro.utils.validation import check_choice, check_count
+from repro.utils.validation import check_choice, check_count, check_real
 
 _SOLVERS = {
     "insitu": InSituAnnealer,
@@ -57,6 +57,11 @@ _BATCH_SOLVERS = {
     "sa": BatchDirectEAnnealer,
 }
 
+#: Every accepted ``method=`` spelling: the sequential flip solvers plus
+#: the simulated-bifurcation family (dispatched through repro.core.sb,
+#: which serves both the single-run and the replica-batch shape).
+SOLVE_METHODS = tuple(sorted([*_SOLVERS, "sb"]))
+
 
 def _check_solve_args(model, method: str, iterations) -> int:
     """Boundary validation shared by the solve entry points.
@@ -67,7 +72,7 @@ def _check_solve_args(model, method: str, iterations) -> int:
     surfaced as opaque errors (or, for ``iterations=True``, a silent
     1-iteration run) deep inside the annealer loops.
     """
-    check_choice("method", method, _SOLVERS)
+    check_choice("method", method, SOLVE_METHODS)
     iterations = check_count(
         "iterations", iterations,
         hint="the annealers need at least one proposal/accept step",
@@ -95,6 +100,21 @@ def _strip_ancilla(result: AnnealResult) -> AnnealResult:
     sigma = result.sigma if result.sigma[0] == 1 else -result.sigma
     best = result.best_sigma if result.best_sigma[0] == 1 else -result.best_sigma
     return replace(result, sigma=sigma[1:], best_sigma=best[1:])
+
+
+def _strip_ancilla_batch(result: BatchAnnealResult) -> BatchAnnealResult:
+    """Per-replica ancilla strip for the batch result shape."""
+
+    def pin(sigmas):
+        # Multiplying each row by its own ancilla sign pins σ_0 = +1
+        # (energies are global-flip invariant for couplings-only models).
+        return (sigmas * sigmas[:, :1])[:, 1:]
+
+    return replace(
+        result,
+        best_sigmas=pin(result.best_sigmas),
+        final_sigmas=pin(result.final_sigmas),
+    )
 
 
 def _solve_tiled(
@@ -127,6 +147,45 @@ def _solve_tiled(
     return result
 
 
+def _solve_sb_tiled(
+    model, iterations, seed, tile_size, reorder, replicas, solver_kwargs
+) -> AnnealResult | BatchAnnealResult:
+    """Route an SB solve through the tiled crossbar's behavioral MVM.
+
+    The coupling matrix is sharded over the tile grid exactly as the
+    in-situ machine does (couplings only — fields fold through an
+    ancilla spin; optional reordering ahead of tiling), and the SB inner
+    loop's matvec is served by
+    :meth:`~repro.arch.tiling.TiledCrossbar.batch_matvec` — the
+    digitally-combined partial products of the programmed tiles.
+    Energies are those of the *stored* (k-bit-quantized) image, exact
+    for dyadic couplings, matching the in-situ tiled convention.
+    """
+    # Local import: repro.arch layers on top of repro.core.
+    from repro.arch.tiling import TiledCrossbar
+    from repro.core.sb import solve_sb
+
+    work = model.with_ancilla() if model.has_fields else model
+    perm = None
+    if reorder != "none":
+        perm = reorder_permutation(work, reorder, tile_size=tile_size)
+    hw = work.permuted(perm) if perm is not None else work
+    matrix = hw if isinstance(hw, SparseIsingModel) else hw.J
+    crossbar = TiledCrossbar(matrix, tile_size=tile_size)
+    stored = crossbar.stored_model(offset=hw.offset, name=f"{hw.name}@tiled")
+    result = solve_sb(
+        stored, iterations, seed=seed, replicas=replicas, permutation=perm,
+        matvec=crossbar.batch_matvec, **solver_kwargs
+    )
+    if work is not model:
+        result = (
+            _strip_ancilla(result)
+            if replicas is None
+            else _strip_ancilla_batch(result)
+        )
+    return result
+
+
 def solve_ising(
     model: IsingModel | SparseIsingModel,
     method: str = "insitu",
@@ -146,7 +205,10 @@ def solve_ising(
         The model to minimise — either coupling backend.
     method:
         ``"insitu"`` (the paper's flow), ``"sa"`` (direct-E Metropolis
-        baseline) or ``"mesa"`` (multi-epoch SA of ref [7]).
+        baseline), ``"mesa"`` (multi-epoch SA of ref [7]) or ``"sb"``
+        (ballistic/discrete simulated bifurcation,
+        :class:`~repro.core.sb.SbEngine` — one coupling matvec per step;
+        pass ``variant="ballistic"`` for bSB, default is dSB).
     iterations:
         Annealing iterations (must be >= 1; validated here so the error is
         raised at the API boundary).
@@ -169,6 +231,10 @@ def solve_ising(
         dyadic couplings such as ±1-weighted G-sets.  Pass
         ``crossbar_backend="device"`` for the compact-model tile
         evaluation (``backend`` here always means the coupling backend).
+        With ``method="sb"`` the SB inner loop's matvec is served by the
+        same tiled grid's digitally-combined behavioral MVM
+        (:meth:`~repro.arch.tiling.TiledCrossbar.batch_matvec`) — and
+        ``replicas`` is allowed, time-multiplexed over the grid.
     replicas:
         When given, run ``replicas`` independent annealing replicas at once
         through the vectorised batch engines
@@ -176,10 +242,11 @@ def solve_ising(
         :class:`~repro.core.batch.BatchDirectEAnnealer`) and return a
         :class:`~repro.core.batch.BatchAnnealResult` with per-replica
         energies and configurations — the paper's 100-run Monte-Carlo
-        protocol in one call.  Supports ``method`` ``"insitu"`` and
-        ``"sa"`` (MESA has no batch engine), ``flips_per_iteration >= 1``
-        and ``reorder``; incompatible with ``tile_size`` (the tiled
-        crossbar machine is a single-run instrument).
+        protocol in one call.  Supports ``method`` ``"insitu"``, ``"sa"``
+        and ``"sb"`` (MESA has no batch engine),
+        ``flips_per_iteration >= 1`` (flip methods) and ``reorder``;
+        incompatible with ``tile_size`` except under ``method="sb"``,
+        whose replica batch time-multiplexes over the tile grid.
     reorder:
         Spin-reordering pass applied before solving: ``"none"`` (default),
         ``"rcm"`` (Reverse Cuthill–McKee, for banded structure),
@@ -208,26 +275,38 @@ def solve_ising(
     if backend is not None:
         model = as_backend(model, backend)
     if replicas is not None:
-        if method not in _BATCH_SOLVERS:
+        # Validated here at the boundary — a bool or non-integer count
+        # used to slip past solve_ising into the engine constructors.
+        replicas = check_count(
+            "replicas", replicas,
+            hint="each replica is one independent trajectory",
+        )
+        if method != "sb" and method not in _BATCH_SOLVERS:
             raise ValueError(
                 f"replicas only applies to methods "
-                f"{sorted(_BATCH_SOLVERS)}, got method={method!r} "
+                f"{sorted([*_BATCH_SOLVERS, 'sb'])}, got method={method!r} "
                 f"(MESA has no batch engine)"
             )
-        if tile_size is not None:
+        if tile_size is not None and method != "sb":
             raise ValueError(
                 "replicas cannot be combined with tile_size; the tiled "
-                "crossbar machine runs one replica per programmed array"
+                "crossbar machine runs one replica per programmed array "
+                "(method='sb' time-multiplexes replicas over the grid)"
             )
     if tile_size is not None:
         tile_size = check_count(
             "tile_size", tile_size, minimum=2,
             hint="a physical tile needs at least 2 rows",
         )
-        if method != "insitu":
+        if method not in ("insitu", "sb"):
             raise ValueError(
                 f"tile_size is a crossbar-machine knob and only applies to "
-                f"method='insitu', got method={method!r}"
+                f"method='insitu' or method='sb', got method={method!r}"
+            )
+        if method == "sb":
+            return _solve_sb_tiled(
+                model, iterations, seed, tile_size, reorder, replicas,
+                solver_kwargs,
             )
         return _solve_tiled(
             model, iterations, seed, tile_size, reorder, solver_kwargs
@@ -240,6 +319,12 @@ def solve_ising(
             # by the replica-batch and sequential dispatches below.
             model = model.permuted(perm)
             solver_kwargs = dict(solver_kwargs, permutation=perm)
+    if method == "sb":
+        from repro.core.sb import solve_sb
+
+        return solve_sb(
+            model, iterations, seed=seed, replicas=replicas, **solver_kwargs
+        )
     if replicas is not None:
         engine = _BATCH_SOLVERS[method](
             model, replicas=replicas, seed=seed, **solver_kwargs
@@ -284,6 +369,10 @@ def solve_maxcut(
         raise ValueError(
             f"problem must be a MaxCutProblem, got {type(problem).__name__}"
         )
+    if reference_cut is not None:
+        # Validated at the boundary: a non-numeric reference used to slip
+        # through and only explode later inside normalized_cut.
+        reference_cut = check_real("reference_cut", reference_cut)
     model = problem.to_ising(backend=backend)
     result = solve_ising(
         model, method=method, iterations=iterations, seed=seed,

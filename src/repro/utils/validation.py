@@ -48,6 +48,30 @@ def check_count(name: str, value, minimum: int = 1, hint: str = "") -> int:
     return value
 
 
+def check_real(name: str, value) -> float:
+    """Validate a real-number parameter (reference cuts, thresholds, …).
+
+    Mirrors :func:`check_count`'s message shape: rejects ``bool`` (which
+    would silently act as 0.0/1.0), strings and anything else that is not
+    a real number, and rejects non-finite values (a NaN reference would
+    poison every normalised quantity downstream without an error).
+    """
+    if isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be a number, got {value!r} (a bool would silently "
+            f"act as {float(value):g}); pass an explicit value"
+        )
+    if isinstance(value, str) or isinstance(value, complex):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
 def check_choice(name: str, value, choices) -> str:
     """Validate a string-valued mode parameter against its choice set.
 

@@ -54,7 +54,7 @@ class TestCommands:
 
     def test_solve_method_and_backend_selection(self, instance_file, capsys):
         """Every method × backend combination solves through the CLI."""
-        for method in ("insitu", "sa", "mesa"):
+        for method in ("insitu", "sa", "mesa", "sb"):
             for backend in ("auto", "dense", "sparse"):
                 code = main(
                     ["solve", instance_file, "--iterations", "400",
@@ -135,6 +135,49 @@ class TestCommands:
         assert code == 0
         printed = capsys.readouterr().out
         assert "partition sizes" in printed
+
+    def test_solve_sb_variants(self, instance_file, capsys):
+        """Both SB flavours solve through the CLI; the solver line names
+        the variant."""
+        for variant, label in (("discrete", "dSB"), ("ballistic", "bSB")):
+            code = main(
+                ["solve", instance_file, "--iterations", "300", "--method",
+                 "sb", "--sb-variant", variant, "--seed", "5"]
+            )
+            assert code == 0
+            assert label in capsys.readouterr().out
+
+    def test_solve_sb_with_replicas(self, instance_file, capsys):
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--method", "sb",
+             "--replicas", "6", "--seed", "5"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "6 replicas" in printed
+        assert "best cut" in printed
+
+    def test_solve_sb_on_tiled_machine(self, instance_file, capsys):
+        """SB accepts tile_size — including with replicas, which the flip
+        path rejects — serving the matvec from the tiled behavioral MVM."""
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--method", "sb",
+             "--tile-size", "16", "--backend", "sparse", "--seed", "5"]
+        )
+        assert code == 0
+        code = main(
+            ["solve", instance_file, "--iterations", "300", "--method", "sb",
+             "--tile-size", "16", "--replicas", "4", "--reorder", "rcm",
+             "--backend", "sparse", "--seed", "5"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "4 replicas" in printed
+
+    def test_solve_sb_rejects_unknown_variant(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["solve", instance_file, "--method", "sb",
+                  "--sb-variant", "goto"])
 
     def test_solve_replicas_rejected_for_mesa(self, instance_file, capsys):
         code = main(
@@ -232,6 +275,37 @@ class TestSolveBoundaryValidation:
             solve_ising(model, replicas=True)
         with pytest.raises(ValueError, match="replicas must be >= 1"):
             solve_ising(model, replicas=0)
+        # the boundary check runs before method-specific dispatch — the SB
+        # path must not re-admit the bool
+        with pytest.raises(ValueError, match="replicas must be an integer"):
+            solve_ising(model, method="sb", replicas=True)
+        with pytest.raises(ValueError, match="replicas must be an integer"):
+            solve_ising(model, replicas=2.5)
+
+    def test_reference_cut_validated_at_boundary(self, problem):
+        """Non-numeric reference cuts fail at the API, not downstream.
+
+        ``reference_cut=True`` used to flow into the result object and
+        silently act as a best-known cut of 1.0 in every normalised
+        quantity; strings and NaN only exploded later inside
+        ``normalized_cut``.
+        """
+        with pytest.raises(ValueError, match="reference_cut must be a number"):
+            solve_maxcut(problem, reference_cut=True)
+        with pytest.raises(ValueError, match="reference_cut must be a number"):
+            solve_maxcut(problem, reference_cut="1516")
+        with pytest.raises(ValueError, match="reference_cut must be a number"):
+            solve_maxcut(problem, reference_cut=[40.0])
+        with pytest.raises(ValueError, match="reference_cut must be finite"):
+            solve_maxcut(problem, reference_cut=float("nan"))
+        with pytest.raises(ValueError, match="reference_cut must be finite"):
+            solve_maxcut(problem, reference_cut=float("inf"))
+        # numeric values (including numpy scalars) pass through
+        result = solve_maxcut(
+            problem, iterations=50, seed=0, reference_cut=np.float64(40.0)
+        )
+        assert result.reference_cut == 40.0
+        assert result.normalized_cut == result.best_cut / 40.0
 
     def test_boolean_iterations_rejected_at_engine_level(self, model):
         """run(True) on the engines themselves, not just the solve API."""

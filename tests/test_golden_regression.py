@@ -220,6 +220,80 @@ class TestReplicaBatchGoldens:
         assert golden_problem.cut_value(result.anneal.best_sigma) == best_cut
 
 
+class TestSbGoldens:
+    """Pinned simulated-bifurcation runs on the bundled golden instance.
+
+    The SB engines' only non-elementwise operation is the coupling
+    matvec, whose inputs under dSB are ±1 — so with the instance's dyadic
+    ``J = W/4`` every sum is exact and the pinned values are bit-exact
+    and backend-independent, across the dense, sparse *and* behavioral-
+    tiled matvec servers.  ``accepted`` counts wall-contact steps.
+    At 400 iterations SB already reaches cut 49 — past every flip
+    engine's 1600-iteration golden above — which is the point of the
+    family.
+    """
+
+    #: (best_cut, best_energy, accepted) at iterations=400, seed=2024.
+    GOLDEN_SB = {"discrete": (49.0, -51.0, 293), "ballistic": (49.0, -51.0, 89)}
+
+    #: dSB batch at R=8: (best_cut, per-replica best cuts, wall-contact steps).
+    GOLDEN_SB_BATCH = (
+        49.0,
+        [47.0, 49.0, 47.0, 48.0, 49.0, 44.0, 49.0, 48.0],
+        [282, 278, 289, 280, 263, 289, 270, 265],
+    )
+
+    @pytest.mark.parametrize("variant", sorted(GOLDEN_SB))
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_pinned_sb_run(self, golden_problem, variant, backend):
+        cut, energy, accepted = self.GOLDEN_SB[variant]
+        result = solve_maxcut(
+            golden_problem,
+            method="sb",
+            iterations=400,
+            seed=2024,
+            backend=backend,
+            variant=variant,
+        )
+        assert result.best_cut == cut
+        assert result.anneal.best_energy == energy
+        assert result.anneal.accepted == accepted
+        assert golden_problem.cut_value(result.anneal.best_sigma) == cut
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_pinned_sb_replica_batch(self, golden_problem, backend):
+        best_cut, cuts, accepted = self.GOLDEN_SB_BATCH
+        result = solve_maxcut(
+            golden_problem,
+            method="sb",
+            iterations=400,
+            seed=2024,
+            backend=backend,
+            replicas=8,
+        )
+        assert result.best_cut == best_cut
+        assert result.best_cuts.tolist() == cuts
+        assert result.anneal.accepted.tolist() == accepted
+        assert golden_problem.cut_value(result.anneal.best_sigma) == best_cut
+
+    @pytest.mark.parametrize("tile_size", [16, 25])
+    def test_pinned_tiled_sb_run(self, golden_problem, tile_size):
+        """±1 weights store exactly, so the tiled matvec server returns
+        the *same* pinned values as the software backends above."""
+        cut, energy, accepted = self.GOLDEN_SB["discrete"]
+        result = solve_maxcut(
+            golden_problem,
+            method="sb",
+            iterations=400,
+            seed=2024,
+            backend="sparse",
+            tile_size=tile_size,
+        )
+        assert result.best_cut == cut
+        assert result.anneal.best_energy == energy
+        assert result.anneal.accepted == accepted
+
+
 class TestIsingGoldens:
     @pytest.mark.parametrize("method", sorted(GOLDEN_ISING))
     def test_pinned_best_energy(self, method):

@@ -133,7 +133,7 @@ class TestSolverEquivalence:
     @relaxed
     @given(
         seed=st.integers(0, 10_000),
-        method=st.sampled_from(["insitu", "sa", "mesa"]),
+        method=st.sampled_from(["insitu", "sa", "mesa", "sb"]),
     )
     def test_declared_permutation_is_bit_identical(self, seed, method):
         """``solve(model.permuted(p))`` mapped back == ``solve(model)``.
@@ -141,7 +141,9 @@ class TestSolverEquivalence:
         The permutation is declared to the solver, which draws proposals
         in the original spin space and maps results back — so the entire
         fixed-seed trajectory is the exact relabelled image of the
-        unpermuted run.
+        unpermuted run.  This includes simulated bifurcation: dSB's
+        matvec inputs are ±1, so its row sums are exact — hence
+        order-independent — for the dyadic couplings used here.
         """
         model = dyadic_sparse_model(seed, with_fields=True)
         p = random_permutation(model.num_spins, seed + 4)
@@ -159,7 +161,7 @@ class TestSolverEquivalence:
     @relaxed
     @given(
         seed=st.integers(0, 10_000),
-        method=st.sampled_from(["insitu", "sa", "mesa"]),
+        method=st.sampled_from(["insitu", "sa", "mesa", "sb"]),
     )
     def test_reorder_knob_is_bit_identical(self, seed, method):
         """``reorder="rcm"`` never changes a software solver's output."""
@@ -189,7 +191,7 @@ class TestSolverEquivalence:
     @relaxed
     @given(
         seed=st.integers(0, 10_000),
-        method=st.sampled_from(["insitu", "sa", "mesa"]),
+        method=st.sampled_from(["insitu", "sa", "mesa", "sb"]),
     )
     def test_partition_layout_is_bit_identical(self, seed, method):
         """The min-cut block layout obeys the same transparency contract.
@@ -233,6 +235,27 @@ class TestSolverEquivalence:
         assert np.array_equal(mapped.accepted, base.accepted)
         assert np.array_equal(mapped.final_sigmas, base.final_sigmas)
         assert np.array_equal(mapped.best_sigma, base.best_sigma)
+
+    @relaxed
+    @given(seed=st.integers(0, 10_000))
+    def test_partition_layout_sb_batch_bit_identical(self, seed):
+        """The SB replica batch obeys the same layout-transparency
+        contract: positions are drawn in the caller's spin space and
+        mapped back, so the dSB (R, n) trajectory is the exact relabelled
+        image of the unpermuted run."""
+        model = dyadic_sparse_model(seed)
+        p = partition_permutation(model, 4)
+        base = solve_ising(
+            model, method="sb", iterations=120, seed=3, replicas=4
+        )
+        mapped = solve_ising(
+            model.permuted(p), method="sb", iterations=120, seed=3,
+            replicas=4, permutation=p,
+        )
+        assert np.array_equal(mapped.best_energies, base.best_energies)
+        assert np.array_equal(mapped.accepted, base.accepted)
+        assert np.array_equal(mapped.final_sigmas, base.final_sigmas)
+        assert np.array_equal(mapped.best_sigmas, base.best_sigmas)
 
 
 # ----------------------------------------------------------------------

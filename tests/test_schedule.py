@@ -88,9 +88,38 @@ class TestVbgStepSchedule:
         assert s.dac_updates() == 71  # 70 steps + initial set
 
     def test_short_run_truncates_walk(self):
+        """An *explicit* hold takes the walk as given, truncation and all."""
         s = VbgStepSchedule(30, hold=10)
         profile = s.vbg_profile()
         assert profile[-1] == pytest.approx(0.7 - 0.02)
+
+    @pytest.mark.parametrize("iterations", [1, 2, 3, 5, 17, 70, 71, 72, 710])
+    def test_default_hold_always_reaches_v_end(self, iterations):
+        """Regression: the default hold used to truncate short runs.
+
+        With ``iterations < num_levels`` the old default (hold=1) walked
+        only ``iterations`` of the 71 grid levels and never reached 0 V —
+        silently violating the paper's "terminates when V_BG reaches 0 V"
+        contract.  The default now compresses the grid instead, so every
+        run length lands exactly on ``v_end`` (and starts at ``v_start``
+        whenever there is room for more than one level).
+        """
+        s = VbgStepSchedule(iterations)
+        profile = s.vbg_profile()
+        assert profile.shape == (iterations,)
+        assert profile[-1] == 0.0
+        if iterations > 1:
+            assert profile[0] == pytest.approx(0.7)
+        assert np.all(np.diff(profile) <= 1e-12)
+        # the temperature trace bottoms out with the voltage walk
+        assert s.temperature(iterations - 1) == 0.0
+
+    def test_compressed_walk_counts_dac_updates(self):
+        """Every compressed level is a real DAC reprogramming."""
+        for iterations in (1, 2, 5, 40):
+            s = VbgStepSchedule(iterations)
+            assert s.dac_updates() == iterations
+        assert VbgStepSchedule(710).dac_updates() == 71
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -108,3 +137,81 @@ class TestReverseVbgSchedule:
         assert profile[0] == pytest.approx(0.0)
         assert profile[-1] == pytest.approx(0.7)
         assert np.all(np.diff(profile) >= -1e-12)
+
+    @pytest.mark.parametrize("iterations", [2, 5, 70])
+    def test_short_default_run_reaches_v_start(self, iterations):
+        """The compressed grid applies to the reverse walk too: a short
+        default-hold run still spans 0 V → 0.7 V."""
+        s = ReverseVbgSchedule(iterations)
+        profile = s.vbg_profile()
+        assert profile[0] == 0.0
+        assert profile[-1] == pytest.approx(0.7)
+
+
+class TestVectorisedProfiles:
+    """``profile()`` / ``vbg_profile()`` are bit-identical to the loops.
+
+    The built-in schedules override the base class's per-iteration
+    ``profile()`` loop with vectorised evaluations; these pin that the
+    fast path returns the *exact* floats of the scalar path for every
+    schedule family (numpy pow vs Python pow differs in the last ulp, so
+    this is a real constraint, kept by sharing one cached array — see
+    ``GeometricSchedule._temperatures``).
+    """
+
+    SCHEDULES = [
+        ConstantSchedule(37, 3.0),
+        GeometricSchedule(100, 10.0, 0.1),
+        GeometricSchedule(100, 10.0, 1.0, alpha=0.5),  # clipped at t_end
+        GeometricSchedule(1, 2.0, 2.0),
+        LinearSchedule(11, 10.0, 0.0),
+        LinearSchedule(1, 2.0),
+        VbgStepSchedule(710, hold=10),
+        VbgStepSchedule(1000, hold=5),   # long tail held at 0 V
+        VbgStepSchedule(30, hold=10),    # explicit hold, truncated walk
+        VbgStepSchedule(9),              # compressed grid
+        VbgStepSchedule(1),
+        ReverseVbgSchedule(710, hold=10),
+        ReverseVbgSchedule(25),
+    ]
+
+    @pytest.mark.parametrize(
+        "schedule", SCHEDULES, ids=lambda s: f"{type(s).__name__}-{s.iterations}"
+    )
+    def test_profile_matches_temperature_loop(self, schedule):
+        loop = np.array(
+            [schedule.temperature(i) for i in range(schedule.iterations)]
+        )
+        profile = schedule.profile()
+        assert profile.shape == loop.shape
+        assert np.array_equal(profile, loop)
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [s for s in SCHEDULES if isinstance(s, VbgStepSchedule)],
+        ids=lambda s: f"{type(s).__name__}-{s.iterations}",
+    )
+    def test_vbg_profile_matches_vbg_loop(self, schedule):
+        loop = np.array([schedule.vbg(i) for i in range(schedule.iterations)])
+        assert np.array_equal(schedule.vbg_profile(), loop)
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [s for s in SCHEDULES if isinstance(s, VbgStepSchedule)],
+        ids=lambda s: f"{type(s).__name__}-{s.iterations}",
+    )
+    def test_dac_updates_matches_scalar_count(self, schedule):
+        changes = sum(
+            schedule.vbg(i) != schedule.vbg(i - 1)
+            for i in range(1, schedule.iterations)
+        )
+        assert schedule.dac_updates() == changes + 1
+
+    def test_geometric_temperature_is_cached_array_read(self):
+        """Scalar reads come from the same cached array profile() copies
+        (the bit-identity mechanism), and the copy protects the cache."""
+        s = GeometricSchedule(50, 5.0, 0.5)
+        profile = s.profile()
+        profile[0] = -1.0  # a caller mutating the copy must not poison
+        assert s.temperature(0) == 5.0
+        assert s.profile()[0] == 5.0
