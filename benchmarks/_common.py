@@ -16,49 +16,23 @@ output capturing.
 from __future__ import annotations
 
 import os
-from contextlib import ExitStack, contextmanager
 from pathlib import Path
-from unittest import mock
+
+from repro.utils.guards import forbid_densification
+
+__all__ = [
+    "RESULTS_DIR",
+    "emit",
+    "fmt_bytes",
+    "forbid_densification",
+    "full_protocol",
+    "hardware_runs",
+    "hardware_suite",
+    "quality_runs",
+    "quality_suite",
+]
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
-
-
-@contextmanager
-def forbid_densification(trap_matrix_hat: bool = True):
-    """Trap every path that could materialise an ``(n, n)`` dense array.
-
-    The scaling benches run entire solves under this guard:
-    ``SparseIsingModel.toarray`` (the dense coupling matrix) always
-    raises, and ``TiledCrossbar.matrix_hat`` (the dense stored image)
-    raises too unless ``trap_matrix_hat=False`` (for benches that never
-    build a tiled machine).
-    """
-    from repro.arch import TiledCrossbar
-    from repro.ising.sparse import SparseIsingModel
-
-    def _no_toarray(self):
-        raise AssertionError(
-            "SparseIsingModel.toarray() called on a no-densify bench path — "
-            "the dense coupling matrix must never be materialised"
-        )
-
-    def _no_matrix_hat(self):
-        raise AssertionError(
-            "TiledCrossbar.matrix_hat assembled on a no-densify bench path "
-            "— the dense stored image must never be materialised"
-        )
-
-    patches = [mock.patch.object(SparseIsingModel, "toarray", _no_toarray)]
-    if trap_matrix_hat:
-        patches.append(
-            mock.patch.object(
-                TiledCrossbar, "matrix_hat", property(_no_matrix_hat)
-            )
-        )
-    with ExitStack() as stack:
-        for patch in patches:
-            stack.enter_context(patch)
-        yield
 
 
 def fmt_bytes(num: float) -> str:

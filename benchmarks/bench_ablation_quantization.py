@@ -13,7 +13,8 @@ import numpy as np
 from benchmarks._common import emit, quality_runs
 from repro.arch import HardwareConfig, InSituCimAnnealer
 from repro.circuits import MatrixQuantizer
-from repro.ising import MaxCutProblem, generate_random
+from repro.ising import generate_random
+from repro.utils.rng import ensure_rng
 from repro.utils.tables import render_table
 
 BIT_WIDTHS = (1, 2, 4, 6, 8)
@@ -21,7 +22,7 @@ BIT_WIDTHS = (1, 2, 4, 6, 8)
 
 def test_quantization_fidelity(benchmark, capsys):
     """Reconstruction error vs k for a Gaussian-weighted coupling matrix."""
-    rng = np.random.default_rng(11)
+    rng = ensure_rng(11)
     W = rng.normal(0, 1, (64, 64))
     W = (W + W.T) / 2
     np.fill_diagonal(W, 0)

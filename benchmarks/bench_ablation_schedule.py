@@ -16,7 +16,6 @@ import numpy as np
 from benchmarks._common import emit, quality_runs
 from repro.analysis import reference_cut
 from repro.core import (
-    DirectEAnnealer,
     FractionalFactor,
     InSituAnnealer,
     ReverseVbgSchedule,

@@ -31,6 +31,7 @@ import numpy as np
 from benchmarks._common import emit
 from repro.core.coupling import coupling_ops
 from repro.ising import generate_random
+from repro.utils.rng import ensure_rng
 from repro.utils.tables import render_table
 
 BENCH_NODES = int(os.environ.get("REPRO_BATCH_BENCH_NODES", "10000"))
@@ -54,7 +55,7 @@ def test_batch_local_fields_kernels(capsys):
     m = BENCH_NODES * BENCH_DEGREE // 2
     problem = generate_random(BENCH_NODES, m, weighted=True, seed=7)
     ops = coupling_ops(problem.to_ising(backend="sparse"))
-    rng = np.random.default_rng(11)
+    rng = ensure_rng(11)
     sigma = rng.choice(np.array([-1.0, 1.0]), size=(BENCH_REPLICAS, BENCH_NODES))
 
     default_time, g_default = _best_of(ops.batch_local_fields, sigma)

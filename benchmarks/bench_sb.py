@@ -48,6 +48,7 @@ from benchmarks._common import emit, forbid_densification
 from repro.arch.tiling import TiledCrossbar
 from repro.core import BatchDirectEAnnealer, BatchInSituAnnealer, SbEngine
 from repro.ising.sparse import SparseIsingModel
+from repro.utils.rng import ensure_rng
 from repro.utils.tables import render_table
 
 BENCH_NODES = int(os.environ.get("REPRO_SB_BENCH_NODES", "2048"))
@@ -72,7 +73,7 @@ BYTES_BASE = 64 * 1024 * 1024
 
 def k_instance(n: int, seed: int = 7) -> tuple[SparseIsingModel, float]:
     """K2000-style instance: complete graph, ±1 weights (J = W/4 dyadic)."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     r, c = np.triu_indices(n, k=1)
     w = rng.choice([-1.0, 1.0], size=r.size)
     model = SparseIsingModel.from_edges(n, r, c, w / 4.0, name=f"K{n}-pm1")

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.metrics import SUCCESS_THRESHOLD, RunStatistics, success_rate
+from repro.analysis.metrics import SUCCESS_THRESHOLD, RunStatistics
 from repro.analysis.reference import reference_cut
 from repro.arch.baselines import DirectECimAnnealer
 from repro.arch.cim_annealer import InSituCimAnnealer

@@ -28,6 +28,7 @@ from repro.core.schedule import Schedule
 from repro.ising.model import IsingModel
 from repro.ising.sparse import dense_couplings
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_count
 
 
 class DirectECimAnnealer:
@@ -70,7 +71,9 @@ class DirectECimAnnealer:
             raise ValueError("direct-E baselines need an exponent unit")
         rng = ensure_rng(seed)
         # As for the proposed machine: the crossbar needs the dense matrix.
-        J = dense_couplings(model)
+        # Densification allowlisted: programming a monolithic physical
+        # array requires every cell of the stored image.
+        J = dense_couplings(model)  # repro-lint: disable=RPL001
         quantizer = MatrixQuantizer(self.config.quantization_bits)
         self.quantized = quantizer.quantize(J)
         self.hw_model = IsingModel(
@@ -140,6 +143,12 @@ class DirectECimAnnealer:
     # ------------------------------------------------------------------
     def run(self, iterations: int, initial=None) -> CimRunResult:
         """Anneal for ``iterations`` and return solution + cost books."""
+        # Validated at the machine boundary: the programming ledger is
+        # booked before the inner annealer would reject a bad count.
+        iterations = check_count(
+            "iterations", iterations,
+            hint="the machine needs at least one proposal/accept step",
+        )
         self._ledger = Ledger()
         self._iter_energy = [] if self.record_cost_trace else None
         self._iter_time = [] if self.record_cost_trace else None

@@ -40,7 +40,7 @@ from repro.devices.variability import VariationModel
 from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel, dense_couplings
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_choice
+from repro.utils.validation import check_choice, check_count
 
 
 class InSituCimAnnealer:
@@ -176,8 +176,10 @@ class InSituCimAnnealer:
                 self.permutation = perm
             # Tiles are extracted block-by-block, so a sparse model is fed
             # straight through — the dense (n, n) matrix is never formed.
+            # (Densification allowlisted for the dense-backend branch
+            # only: the input already stores all n² couplings.)
             self.crossbar = TiledCrossbar(
-                hw_input if is_sparse else dense_couplings(hw_input),
+                hw_input if is_sparse else dense_couplings(hw_input),  # repro-lint: disable=RPL001
                 tile_size=tile_size,
                 bits=self.config.quantization_bits,
                 backend=backend,
@@ -223,8 +225,9 @@ class InSituCimAnnealer:
         else:
             # A single physical crossbar programs every cell, so the
             # monolithic machine densifies sparse models here (solver-only
-            # paths never do).
-            J = dense_couplings(model)
+            # paths never do).  Densification allowlisted: crossbar
+            # programming is the one consumer that needs the full image.
+            J = dense_couplings(model)  # repro-lint: disable=RPL001
             self.crossbar = DgFefetCrossbar(
                 J,
                 bits=self.config.quantization_bits,
@@ -347,6 +350,13 @@ class InSituCimAnnealer:
     # ------------------------------------------------------------------
     def run(self, iterations: int, initial=None) -> CimRunResult:
         """Anneal for ``iterations`` and return solution + cost books."""
+        # Validated at the machine boundary: the ledger and the default
+        # V_BG schedule consume `iterations` before the inner annealer
+        # would reject a bool/float count.
+        iterations = check_count(
+            "iterations", iterations,
+            hint="the machine needs at least one proposal/accept step",
+        )
         self._ledger = Ledger()
         self._last_vbg = None
         self._iter_energy = [] if self.record_cost_trace else None

@@ -316,7 +316,10 @@ class SparseCouplingOps:
             flat = np.repeat(rows, counts) * self._n + nbr
             # `rows` are distinct replicas and neighbour lists have unique
             # columns, so the flat indices are unique and fancy -= is safe.
-            g.reshape(-1)[flat] -= 2.0 * w * np.repeat(vals, counts)
+            # Aliasing audited: every producer of g returns C order
+            # (_batch_local_fields_loop zeros in C order explicitly;
+            # the reduction kernel runs through ascontiguousarray).
+            g.reshape(-1)[flat] -= 2.0 * w * np.repeat(vals, counts)  # repro-lint: disable=RPL004
             return
         t = cols.shape[1]
         counts, nbr, w = self._gather_rows(cols.ravel())
@@ -327,8 +330,10 @@ class SparseCouplingOps:
         # Two flipped spins of one replica may share a neighbour, giving
         # duplicate flat indices that a fancy -= would silently drop:
         # collapse duplicates with a segment sum first.
+        # Aliasing audited: g is C-contiguous by the same producer
+        # contract as the rank-1 path above.
         uniq, inv = np.unique(flat, return_inverse=True)
-        g.reshape(-1)[uniq] -= 2.0 * np.bincount(inv, weights=contrib)
+        g.reshape(-1)[uniq] -= 2.0 * np.bincount(inv, weights=contrib)  # repro-lint: disable=RPL004
 
     def offdiag_abs_values(self) -> np.ndarray:
         """|J_ij| of all stored off-diagonal entries (both triangles)."""

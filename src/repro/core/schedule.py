@@ -89,7 +89,7 @@ class GeometricSchedule(Schedule):
         # single cached array is the only way both access paths stay
         # bit-identical.  Built lazily; O(iterations) floats.
         if self._temps is None:
-            powers = np.power(self.alpha, np.arange(self.iterations))
+            powers = self.alpha ** np.arange(self.iterations)
             self._temps = np.maximum(self.t_start * powers, self.t_end)
         return self._temps
 

@@ -7,6 +7,13 @@ four-input product ``I_SL = x·G·y·z`` and back-gate threshold tuning.  See
 DESIGN.md §2 for the substitution rationale.
 """
 
+from repro.devices.characterization import (
+    DeviceMetrics,
+    EnduranceModel,
+    RetentionModel,
+    annealing_runs_per_lifetime,
+    extract_metrics,
+)
 from repro.devices.constants import (
     DEFAULT_BG_COUPLING,
     DEFAULT_MEMORY_WINDOW,
@@ -20,13 +27,6 @@ from repro.devices.constants import (
     VBG_MAX,
     VBG_MIN,
     VBG_STEP,
-)
-from repro.devices.characterization import (
-    DeviceMetrics,
-    EnduranceModel,
-    RetentionModel,
-    annealing_runs_per_lifetime,
-    extract_metrics,
 )
 from repro.devices.dg_fefet import DGFeFET
 from repro.devices.fefet import FeFET

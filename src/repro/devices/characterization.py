@@ -98,7 +98,7 @@ class RetentionModel:
         t = np.asarray(elapsed_seconds, dtype=np.float64)
         if np.any(t < 0):
             raise ValueError("elapsed time must be >= 0")
-        return np.exp(-np.power(t / self.tau, self.beta))
+        return np.exp(-((t / self.tau) ** self.beta))
 
     def window_after(self, memory_window: float, elapsed_seconds: float) -> float:
         """Memory window remaining after ``elapsed_seconds``."""
@@ -146,7 +146,7 @@ class EnduranceModel:
         if np.any(n < 0):
             raise ValueError("cycles must be >= 0")
         wake_up = 1.0 + self.wake_up_strength * np.log10(n + 1.0)
-        fatigue = np.exp(-np.power(n / self.fatigue_cycles, self.fatigue_power))
+        fatigue = np.exp(-((n / self.fatigue_cycles) ** self.fatigue_power))
         return wake_up * fatigue
 
     def cycles_to_fraction(self, fraction: float) -> float:

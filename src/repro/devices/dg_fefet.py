@@ -28,8 +28,6 @@ from repro.devices.constants import (
     DEFAULT_MEMORY_WINDOW,
     DEFAULT_READ_VDL,
     DEFAULT_READ_VFG,
-    DEFAULT_VTH_HIGH,
-    DEFAULT_VTH_LOW,
     VBG_MAX,
     VBG_MIN,
 )

@@ -6,6 +6,12 @@ incremental energy difference of :meth:`IsingModel.delta_energy_flips`.
 """
 
 from repro.ising.coloring import GraphColoringProblem
+from repro.ising.generators import (
+    circulant_edges,
+    circulant_maxcut,
+    planted_partition_maxcut,
+    scattered_circulant_maxcut,
+)
 from repro.ising.gset import (
     PAPER_ITERATIONS,
     GsetSpec,
@@ -18,12 +24,6 @@ from repro.ising.gset import (
     parse_gset,
     suite_by_size,
     write_gset,
-)
-from repro.ising.generators import (
-    circulant_edges,
-    circulant_maxcut,
-    planted_partition_maxcut,
-    scattered_circulant_maxcut,
 )
 from repro.ising.knapsack import KnapsackProblem
 from repro.ising.maxcut import MaxCutProblem

@@ -106,7 +106,6 @@ class KnapsackProblem:
         """Build the penalty QUBO of the module docstring (minimisation)."""
         n = self.num_items
         coeffs = np.concatenate([self._weights, self._slack])
-        nv = coeffs.size
         P = float(self.penalty)
         C = float(self.capacity)
         # P * (coeffs·y - C)^2 = P [ (coeffs·y)^2 - 2C coeffs·y + C² ].

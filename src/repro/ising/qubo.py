@@ -131,7 +131,9 @@ class QuboModel:
         Accepts either coupling backend.  The diagonal of ``J`` contributes
         only the constant ``trace(J)`` because ``σ_i² = 1``.
         """
-        J_full = dense_couplings(model)
+        # Densification allowlisted: the QUBO container itself stores the
+        # dense (n, n) Q matrix, so the inverse transform is O(n²) anyway.
+        J_full = dense_couplings(model)  # repro-lint: disable=RPL001
         J = J_full - np.diag(np.diag(J_full))
         trace = float(np.trace(J_full))
         h = model.h

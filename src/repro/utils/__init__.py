@@ -5,7 +5,8 @@ sub-package (``ising``, ``devices``, ``circuits``, ``core``, ``arch``,
 ``analysis``) can build on them without import cycles.
 """
 
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.guards import forbid_densification
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 from repro.utils.units import (
     FEMTO,
     GIGA,
@@ -29,7 +30,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "RngLike",
     "ensure_rng",
+    "forbid_densification",
     "spawn_rng",
     "FEMTO",
     "PICO",

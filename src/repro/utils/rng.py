@@ -9,12 +9,19 @@ trajectory and the same device-variation draw on every run.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+#: Anything :func:`ensure_rng` accepts.  A real union (not a string
+#: constant) so type checkers resolve it through the package's
+#: ``py.typed`` marker.
+RngLike: TypeAlias = (
+    int | np.random.Generator | np.random.SeedSequence | None
+)
 
 
-def ensure_rng(seed=None) -> np.random.Generator:
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any seed-like input.
 
     Parameters

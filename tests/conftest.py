@@ -2,16 +2,26 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+# The repo-root ``tools`` package (the repro-lint linter) is not on the
+# import path by default — pytest adds tests/ and PYTHONPATH adds src/.
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
 from repro.ising import IsingModel, MaxCutProblem
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture
 def rng():
     """A deterministic RNG for tests."""
-    return np.random.default_rng(12345)
+    return ensure_rng(12345)
 
 
 @pytest.fixture

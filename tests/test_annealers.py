@@ -15,19 +15,20 @@ from repro.core import (
     solve_maxcut,
 )
 from repro.core.proposal import FlipSelector
-from repro.ising import IsingModel, MaxCutProblem
+from repro.ising import IsingModel
+from repro.utils.rng import ensure_rng
 from tests.conftest import brute_force_maxcut
 
 
 class TestFlipSelector:
     def test_scan_covers_every_spin_once_per_sweep(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         sel = FlipSelector(10, 1, "scan", rng)
         seen = [int(sel.next()[0]) for _ in range(10)]
         assert sorted(seen) == list(range(10))
 
     def test_scan_reshuffles_between_sweeps(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         sel = FlipSelector(50, 1, "scan", rng)
         first = [int(sel.next()[0]) for _ in range(50)]
         second = [int(sel.next()[0]) for _ in range(50)]
@@ -35,7 +36,7 @@ class TestFlipSelector:
         assert first != second
 
     def test_random_mode_bounds(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         sel = FlipSelector(7, 3, "random", rng)
         for _ in range(20):
             flips = sel.next()
@@ -43,7 +44,7 @@ class TestFlipSelector:
             assert all(0 <= f < 7 for f in flips)
 
     def test_validation(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         with pytest.raises(ValueError):
             FlipSelector(5, 6, "scan", rng)
         with pytest.raises(ValueError):

@@ -1,0 +1,94 @@
+"""Runtime API/CLI parity: every solve knob must be CLI-reachable.
+
+The static rule RPL006 checks the same contract by walking the AST of
+``core/solver.py`` and ``cli.py``; this test checks it against the
+*live* objects (``inspect.signature`` vs the built argparse parser), so
+a refactor that confuses the static pattern-match still cannot silently
+drop a flag.  Both sides share the allowlists in
+``tools.repro_lint.config`` — updating the contract is a one-file edit
+that review sees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+
+from repro.cli import build_parser
+from repro.core.solver import solve_ising, solve_maxcut
+from tools.repro_lint.config import (
+    PARITY_CLI_LESS,
+    PARITY_FLAG_MAP,
+    PARITY_FUNCTIONS,
+    SOLVER_KWARG_FLAGS,
+)
+
+PARITY_CALLABLES = {"solve_ising": solve_ising, "solve_maxcut": solve_maxcut}
+
+
+def _solve_option_strings() -> set[str]:
+    """All ``--flag`` option strings of the ``solve`` subcommand."""
+    parser = build_parser()
+    solve_parser = next(
+        action.choices["solve"]
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    flags: set[str] = set()
+    for action in solve_parser._actions:
+        flags.update(action.option_strings)
+    return flags
+
+
+def _expected_flag(param: str) -> str:
+    """CLI flag a keyword argument maps to (mechanical or allowlisted)."""
+    return PARITY_FLAG_MAP.get(param, "--" + param.replace("_", "-"))
+
+
+def test_parity_functions_are_pinned():
+    # The static rule and this test must audit the same functions.
+    assert set(PARITY_FUNCTIONS) == set(PARITY_CALLABLES)
+
+
+def test_every_solver_kwarg_has_a_cli_flag():
+    flags = _solve_option_strings()
+    missing = []
+    for name, fn in PARITY_CALLABLES.items():
+        params = list(inspect.signature(fn).parameters.values())
+        for param in params[1:]:  # skip the model/problem positional
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                continue
+            if param.name in PARITY_CLI_LESS:
+                continue
+            if _expected_flag(param.name) not in flags:
+                missing.append(f"{name}({param.name}) -> {_expected_flag(param.name)}")
+    assert not missing, (
+        "solver keyword(s) unreachable from `repro solve`: "
+        + ", ".join(missing)
+        + " — add the flag in cli.py or allowlist the kwarg in "
+        "tools/repro_lint/config.py with a rationale"
+    )
+
+
+def test_engine_kwarg_flags_still_exist():
+    # **solver_kwargs knobs the CLI exposes under bespoke flags: the
+    # static rule cannot see them (they are not in the signatures), so
+    # pin them here.
+    flags = _solve_option_strings()
+    for kwarg, flag in SOLVER_KWARG_FLAGS.items():
+        assert flag in flags, (
+            f"CLI flag {flag} (engine kwarg {kwarg!r}) disappeared from "
+            "the solve subcommand"
+        )
+
+
+def test_allowlists_stay_minimal():
+    # Every allowlist entry must still correspond to a live keyword;
+    # stale entries hide real parity breaks.
+    known_params = set()
+    for fn in PARITY_CALLABLES.values():
+        known_params.update(inspect.signature(fn).parameters)
+    for param in PARITY_FLAG_MAP:
+        assert param in known_params, f"stale PARITY_FLAG_MAP entry: {param!r}"
+    for param in PARITY_CLI_LESS:
+        assert param in known_params, f"stale PARITY_CLI_LESS entry: {param!r}"

@@ -29,6 +29,7 @@ from repro.core import (
 )
 from repro.core.reorder import reorder_permutation
 from repro.ising import IsingModel, MaxCutProblem, SparseIsingModel
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=10,
@@ -41,7 +42,7 @@ ENGINES = (BatchInSituAnnealer, BatchDirectEAnnealer)
 
 def dyadic_pair(seed: int, n: int = 18, with_fields: bool = True):
     """A (dense, sparse) model pair with exactly-representable couplings."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     values = rng.integers(-8, 9, size=(n, n)) / 8.0
     mask = rng.random((n, n)) < 0.35
     upper = np.triu(values * mask, k=1)
@@ -222,7 +223,7 @@ class TestAcceptanceParity:
         temperature = 0.61
         f_value = engine._factor_at(temperature)
         scale = engine.acceptance_scale
-        rng = np.random.default_rng(7)
+        rng = ensure_rng(7)
         cross = rng.integers(-64, 65, size=512) / 64.0
         field = rng.integers(-64, 65, size=512) / 64.0
         e_inc_seq = (cross + field / 2.0) * f_value * scale

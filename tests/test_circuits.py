@@ -16,6 +16,7 @@ from repro.circuits import (
     ShiftAddUnit,
     WireModel,
 )
+from repro.utils.rng import ensure_rng
 
 
 class TestSarAdc:
@@ -160,7 +161,7 @@ class TestMatrixQuantizer:
     @settings(max_examples=40, deadline=None)
     @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
     def test_reconstruction_error_within_half_lsb(self, seed, bits):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         n = int(rng.integers(2, 12))
         A = rng.uniform(-3, 3, (n, n))
         A = (A + A.T) / 2
@@ -169,7 +170,7 @@ class TestMatrixQuantizer:
         assert np.max(np.abs(reconstructed - A)) <= q.lsb_for(A) / 2 + 1e-12
 
     def test_sign_planes_disjoint(self):
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         A = rng.uniform(-1, 1, (6, 6))
         A = (A + A.T) / 2
         qm = MatrixQuantizer(4).quantize(A)

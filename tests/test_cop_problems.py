@@ -9,13 +9,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import solve_ising
 from repro.ising import (
     GraphColoringProblem,
     KnapsackProblem,
     NumberPartitioningProblem,
     QuboModel,
 )
-from repro.core import solve_ising
+from repro.utils.rng import ensure_rng
 
 
 class TestColoring:
@@ -149,7 +150,7 @@ class TestPartitioning:
     def test_energy_equals_squared_residue(self, seed):
         prob = NumberPartitioningProblem.random(8, seed=seed)
         model = prob.to_ising()
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         sigma = rng.choice(np.array([-1, 1], dtype=np.int8), prob.num_items)
         assert model.energy(sigma) == pytest.approx(prob.residue(sigma) ** 2)
         assert prob.residue_from_energy(model.energy(sigma)) == pytest.approx(

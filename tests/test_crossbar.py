@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 from repro.circuits import DgFefetCrossbar
 from repro.devices import VBG_MAX, VariationModel
 from repro.ising import MaxCutProblem
+from repro.utils.rng import ensure_rng
 
 
 def make_problem(n=16, m=48, seed=1, weighted=False):
@@ -30,7 +28,7 @@ class TestBehavioralBackend:
         p = make_problem()
         J = p.to_ising().J
         xb = DgFefetCrossbar(J, bits=4, backend="behavioral", seed=0)
-        rng = np.random.default_rng(7)
+        rng = ensure_rng(7)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         for t in (1, 2, 4):
             flips = rng.choice(p.num_nodes, t, replace=False)
@@ -42,7 +40,7 @@ class TestBehavioralBackend:
     def test_factor_scales_value(self):
         p = make_problem()
         xb = DgFefetCrossbar(p.to_ising().J, seed=0)
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         r, c = increment_vectors(sigma, [2])
         v_hi, _ = xb.compute_increment(r, c, VBG_MAX)
@@ -86,7 +84,7 @@ class TestDeviceBackend:
         J = p.to_ising().J
         xb_b = DgFefetCrossbar(J, backend="behavioral", seed=0)
         xb_d = DgFefetCrossbar(J, backend="device", seed=0)
-        rng = np.random.default_rng(5)
+        rng = ensure_rng(5)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         worst = 0.0
         for trial in range(10):
@@ -103,7 +101,7 @@ class TestDeviceBackend:
         p = make_problem(n=16, m=40)
         J = p.to_ising().J
         xb_d = DgFefetCrossbar(J, backend="device", seed=0)
-        rng = np.random.default_rng(9)
+        rng = ensure_rng(9)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         value, stats = xb_d.compute_quadratic(sigma)
         exact = float(sigma @ xb_d.matrix_hat @ sigma)
@@ -114,7 +112,7 @@ class TestDeviceBackend:
         p = make_problem(n=12, m=30, weighted=True)
         J = p.to_ising().J
         xb_d = DgFefetCrossbar(J, backend="device", seed=0)
-        rng = np.random.default_rng(2)
+        rng = ensure_rng(2)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         r, c = increment_vectors(sigma, [0, 5])
         vd, stats = xb_d.compute_increment(r, c, VBG_MAX)
@@ -130,7 +128,7 @@ class TestDeviceBackend:
         varied = DgFefetCrossbar(
             J, backend="device", seed=3, variation=VariationModel(vth_sigma=0.08)
         )
-        rng = np.random.default_rng(4)
+        rng = ensure_rng(4)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         diffs = []
         for i in range(6):
@@ -145,7 +143,7 @@ class TestActivationStats:
     def test_incremental_counts(self):
         p = make_problem(n=16, m=48)
         xb = DgFefetCrossbar(p.to_ising().J, bits=4, seed=0)
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         r, c = increment_vectors(sigma, [3])
         _, stats = xb.compute_increment(r, c, VBG_MAX)
@@ -157,7 +155,7 @@ class TestActivationStats:
     def test_full_activation_counts(self):
         p = make_problem(n=16, m=48)
         xb = DgFefetCrossbar(p.to_ising().J, bits=4, seed=0)
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         _, stats = xb.compute_quadratic(sigma)
         assert stats.adc_conversions == 2 * 16 * 4
@@ -166,7 +164,7 @@ class TestActivationStats:
     def test_toggle_accounting(self):
         p = make_problem(n=10, m=20)
         xb = DgFefetCrossbar(p.to_ising().J, seed=0)
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         r, c = increment_vectors(sigma, [2])
         _, first = xb.compute_increment(r, c, VBG_MAX)
@@ -180,7 +178,7 @@ class TestActivationStats:
     def test_settle_time_positive(self):
         p = make_problem()
         xb = DgFefetCrossbar(p.to_ising().J, seed=0)
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         sigma = rng.choice([-1.0, 1.0], p.num_nodes)
         r, c = increment_vectors(sigma, [0])
         _, stats = xb.compute_increment(r, c, VBG_MAX)

@@ -8,8 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.devices import (
-    DEFAULT_READ_VDL,
-    DEFAULT_READ_VFG,
     VBG_MAX,
     DGFeFET,
     FeFET,

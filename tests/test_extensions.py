@@ -17,6 +17,7 @@ from repro.ising import (
     QuboModel,
     TravellingSalesmanProblem,
 )
+from repro.utils.rng import ensure_rng
 
 
 class TestTsp:
@@ -155,7 +156,7 @@ class TestTiling:
         J = p.to_ising().J
         mono = DgFefetCrossbar(J, seed=0)
         tiled = TiledCrossbar(J, tile_size=16, seed=0)
-        rng = np.random.default_rng(7)
+        rng = ensure_rng(7)
         sigma = rng.choice([-1.0, 1.0], 40)
         for trial in range(6):
             flips = rng.choice(40, size=1 + trial % 3, replace=False)
@@ -172,7 +173,7 @@ class TestTiling:
         p = MaxCutProblem.random(40, 200, seed=2)
         J = p.to_ising().J
         tiled = TiledCrossbar(J, tile_size=16, seed=0)
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         sigma = rng.choice([-1.0, 1.0], 40)
         c = np.zeros(40)
         c[5] = -sigma[5]

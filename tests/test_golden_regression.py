@@ -22,6 +22,7 @@ import pytest
 
 from repro.core import solve_ising, solve_maxcut
 from repro.ising import IsingModel, parse_gset
+from repro.utils.rng import ensure_rng
 
 GOLDEN_GSET = Path(__file__).parent / "data" / "golden_g60.gset"
 
@@ -51,7 +52,7 @@ def golden_problem():
 
 def golden_ising_model() -> IsingModel:
     """The fixed 40-spin dyadic-coupling model with fields."""
-    rng = np.random.default_rng(99)
+    rng = ensure_rng(99)
     n = 40
     values = rng.integers(-8, 9, size=(n, n)) / 8.0
     upper = np.triu(values * (rng.random((n, n)) < 0.25), k=1)

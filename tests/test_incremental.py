@@ -17,6 +17,7 @@ from repro.core import (
     num_product_terms,
 )
 from repro.ising import IsingModel
+from repro.utils.rng import ensure_rng
 
 
 class TestVectors:
@@ -59,7 +60,7 @@ class TestDeltaEnergy:
     @given(seed=st.integers(0, 10_000), data=st.data())
     def test_matches_model_delta(self, seed, data):
         """4 σ_rᵀJσ_c + 2 hᵀσ_c equals the direct energy difference."""
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         n = int(rng.integers(2, 14))
         model = IsingModel.random(n, with_fields=True, seed=rng)
         sigma = model.random_configuration(rng)

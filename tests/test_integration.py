@@ -14,7 +14,6 @@ import pytest
 from repro.analysis import reference_cut, success_rate
 from repro.arch import DirectECimAnnealer, HardwareConfig, InSituCimAnnealer
 from repro.core import (
-    DirectEAnnealer,
     FractionalFactor,
     InSituAnnealer,
     VbgStepSchedule,
@@ -22,6 +21,7 @@ from repro.core import (
 )
 from repro.devices import VariationModel
 from repro.ising import MaxCutProblem, QuboModel, build_instance, paper_instance_suite
+from repro.utils.rng import ensure_rng
 from tests.conftest import brute_force_maxcut
 
 
@@ -78,7 +78,7 @@ class TestSoftwareHardwareConsistency:
 class TestQuboPipeline:
     def test_qubo_to_machine_round_trip(self):
         """A QUBO with linear terms runs on hardware via the ancilla trick."""
-        rng = np.random.default_rng(8)
+        rng = ensure_rng(8)
         Q = rng.uniform(-1, 1, (10, 10))
         Q = (Q + Q.T) / 2
         np.fill_diagonal(Q, 0)

@@ -8,10 +8,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ising import IsingModel
+from repro.utils.rng import ensure_rng
 
 
 def random_model_and_state(seed, n=None, with_fields=True):
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = n or int(rng.integers(2, 16))
     model = IsingModel.random(n, with_fields=with_fields, seed=rng)
     sigma = model.random_configuration(rng)
@@ -154,7 +155,7 @@ class TestUtilities:
         model = IsingModel.random(8, with_fields=True, seed=2)
         sigma_star, e_star = model.brute_force_minimum()
         assert model.energy(sigma_star) == pytest.approx(e_star)
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         for _ in range(50):
             s = model.random_configuration(rng)
             assert model.energy(s) >= e_star - 1e-9

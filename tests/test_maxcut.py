@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ising import MaxCutProblem
+from repro.utils.rng import ensure_rng
 from tests.conftest import brute_force_maxcut
 
 
@@ -54,7 +55,7 @@ class TestObjective:
     @given(seed=st.integers(0, 10_000))
     def test_energy_cut_bijection(self, seed):
         """cut(σ) = W_tot/2 − σᵀJσ for every configuration."""
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         n = int(rng.integers(4, 14))
         m = int(rng.integers(1, n * (n - 1) // 2 + 1))
         p = MaxCutProblem.random(n, m, weighted=bool(rng.integers(2)), seed=rng)
@@ -94,7 +95,7 @@ class TestConversions:
         back = MaxCutProblem.from_networkx(g)
         assert back.num_nodes == small_maxcut.num_nodes
         assert back.num_edges == small_maxcut.num_edges
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         sigma = rng.choice(np.array([-1, 1], dtype=np.int8), small_maxcut.num_nodes)
         assert back.cut_value(sigma) == pytest.approx(small_maxcut.cut_value(sigma))
 

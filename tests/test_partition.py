@@ -28,6 +28,7 @@ from repro.core import (
     solve_ising,
 )
 from repro.ising import IsingModel, SparseIsingModel, planted_partition_maxcut
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=12,
@@ -38,7 +39,7 @@ relaxed = settings(
 
 def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingModel:
     """Seeded random sparse model with exactly-representable couplings."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(6, 40))
     m = int(rng.integers(n, 3 * n))
     pairs = rng.choice(n * (n - 1) // 2, size=min(m, n * (n - 1) // 2), replace=False)

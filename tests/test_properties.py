@@ -18,6 +18,7 @@ from repro.circuits import DgFefetCrossbar
 from repro.core import solve_ising
 from repro.devices import VBG_MAX
 from repro.ising import IsingModel, MaxCutProblem
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=15,
@@ -30,7 +31,7 @@ relaxed = settings(
 @given(seed=st.integers(0, 10_000), bits=st.integers(2, 6))
 def test_crossbar_agrees_with_model_delta_energy(seed, bits):
     """4 × (crossbar E_inc at f=1) equals the stored model's exact ΔE."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(4, 20))
     m = int(rng.integers(n, n * (n - 1) // 2 + 1))
     problem = MaxCutProblem.random(n, m, weighted=bool(rng.integers(2)), seed=rng)
@@ -66,7 +67,7 @@ def test_annealers_never_report_impossible_energies(seed, method):
 def test_annealer_beats_random_sampling(seed):
     """200 annealing iterations beat the best of 20 random configurations
     on average-sized instances (sanity: the solver actually optimises)."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     problem = MaxCutProblem.random(30, 120, seed=rng)
     model = problem.to_ising()
     result = solve_ising(model, method="insitu", iterations=400, seed=seed)
@@ -80,7 +81,7 @@ def test_annealer_beats_random_sampling(seed):
 @given(seed=st.integers(0, 5_000))
 def test_machine_ledgers_are_consistent(seed):
     """Ledger totals equal the component sums; counts match iterations."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(12, 40))
     m = int(rng.integers(n, 3 * n))
     problem = MaxCutProblem.random(n, m, seed=rng)
@@ -100,7 +101,7 @@ def test_machine_ledgers_are_consistent(seed):
 @given(seed=st.integers(0, 5_000))
 def test_baseline_always_costs_more(seed):
     """For any instance and budget, direct-E costs more energy and time."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(16, 64))
     m = int(rng.integers(n, 3 * n))
     problem = MaxCutProblem.random(n, m, seed=rng)
@@ -118,7 +119,7 @@ def test_incremental_term_count_always_below_direct(seed, k):
     """(n−|F|)·|F| < n² for every valid configuration (the O(n) claim)."""
     from repro.core import num_product_terms
 
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(max(2, k), 5000))
     direct, inc = num_product_terms(n, min(k, n))
     assert inc < direct
@@ -131,7 +132,7 @@ def test_incremental_term_count_always_below_direct(seed, k):
 )
 def test_factor_scaling_never_flips_sign(seed, v_bg):
     """E_inc has the sign of σ_rᵀJσ_c for every back-gate voltage."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     problem = MaxCutProblem.random(12, 30, seed=rng)
     xb = DgFefetCrossbar(problem.to_ising().J, seed=0)
     sigma = problem.to_ising().random_configuration(rng).astype(np.float64)

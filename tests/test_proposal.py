@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core.proposal import FlipSelector, random_flip_sets, scan_order
+from repro.utils.rng import ensure_rng
 
 
 def collect(selector: FlipSelector, draws: int) -> np.ndarray:
@@ -31,7 +32,7 @@ class TestScanSweepContract:
         the window).
         """
         assert n % flips != 0  # the buggy regime
-        rng = np.random.default_rng(5)
+        rng = ensure_rng(5)
         sel = FlipSelector(n, flips, "scan", rng)
         sweeps = 12
         draws = -(-sweeps * n // flips)
@@ -42,7 +43,7 @@ class TestScanSweepContract:
 
     @pytest.mark.parametrize("n,flips", [(10, 3), (9, 4), (6, 5), (5, 5)])
     def test_flip_sets_stay_duplicate_free(self, n, flips):
-        rng = np.random.default_rng(11)
+        rng = ensure_rng(11)
         sel = FlipSelector(n, flips, "scan", rng)
         for _ in range(200):
             out = sel.next()
@@ -52,7 +53,7 @@ class TestScanSweepContract:
     def test_exact_division_is_a_clean_sweep_partition(self):
         """``n % flips == 0``: each sweep is a disjoint partition as before."""
         n, flips = 12, 4
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         sel = FlipSelector(n, flips, "scan", rng)
         for _ in range(8):
             sweep = np.concatenate([sel.next() for _ in range(n // flips)])
@@ -61,8 +62,8 @@ class TestScanSweepContract:
     def test_single_flip_rng_stream_unchanged(self):
         """t = 1 consumes one permutation per sweep, exactly as the seed."""
         n = 9
-        sel = FlipSelector(n, 1, "scan", np.random.default_rng(21))
-        rng = np.random.default_rng(21)
+        sel = FlipSelector(n, 1, "scan", ensure_rng(21))
+        rng = ensure_rng(21)
         expected = np.concatenate([rng.permutation(n) for _ in range(4)])
         stream = collect(sel, 4 * n)
         assert np.array_equal(stream, expected)
@@ -70,9 +71,9 @@ class TestScanSweepContract:
     def test_index_map_applies_after_carry(self):
         n, flips = 10, 3
         index_map = np.roll(np.arange(n), 4)
-        a = FlipSelector(n, flips, "scan", np.random.default_rng(9))
+        a = FlipSelector(n, flips, "scan", ensure_rng(9))
         b = FlipSelector(
-            n, flips, "scan", np.random.default_rng(9), index_map=index_map
+            n, flips, "scan", ensure_rng(9), index_map=index_map
         )
         for _ in range(40):
             assert np.array_equal(index_map[a.next()], b.next())
@@ -81,7 +82,7 @@ class TestScanSweepContract:
 class TestScanOrderHelper:
     @pytest.mark.parametrize("n,flips,length", [(10, 3, 95), (8, 8, 40), (13, 6, 130)])
     def test_stream_contract(self, n, flips, length):
-        stream = scan_order(n, flips, length, np.random.default_rng(2))
+        stream = scan_order(n, flips, length, ensure_rng(2))
         assert stream.shape == (length,)
         # aligned n-windows each visit every spin exactly once
         full = stream[: (length // n) * n].reshape(-1, n)
@@ -96,20 +97,20 @@ class TestScanOrderHelper:
 class TestRandomFlipSets:
     @pytest.mark.parametrize("n,flips", [(20, 1), (20, 3), (6, 5), (4, 4)])
     def test_rows_are_unique_and_in_range(self, n, flips):
-        out = random_flip_sets(np.random.default_rng(8), n, 500, flips)
+        out = random_flip_sets(ensure_rng(8), n, 500, flips)
         assert out.shape == (500, flips)
         assert out.min() >= 0 and out.max() < n
         assert all(np.unique(row).size == flips for row in out)
 
     def test_deterministic_given_rng(self):
-        a = random_flip_sets(np.random.default_rng(4), 15, 100, 4)
-        b = random_flip_sets(np.random.default_rng(4), 15, 100, 4)
+        a = random_flip_sets(ensure_rng(4), 15, 100, 4)
+        b = random_flip_sets(ensure_rng(4), 15, 100, 4)
         assert np.array_equal(a, b)
 
 
 class TestValidation:
     def test_mode_and_flip_bounds(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         with pytest.raises(ValueError, match="proposal mode"):
             FlipSelector(5, 1, "walk", rng)
         for bad in (0, 6):
@@ -117,6 +118,6 @@ class TestValidation:
                 FlipSelector(5, bad, "scan", rng)
 
     def test_index_map_shape_checked(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         with pytest.raises(ValueError, match="index_map"):
             FlipSelector(5, 1, "scan", rng, index_map=np.arange(4))

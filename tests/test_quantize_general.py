@@ -9,13 +9,14 @@ from hypothesis import strategies as st
 
 from repro.circuits import DgFefetCrossbar, MatrixQuantizer
 from repro.devices import VBG_MAX
+from repro.utils.rng import ensure_rng
 
 
 class TestQuantizeGeneral:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
     def test_reconstruction_error_bound(self, seed, bits):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         n = int(rng.integers(2, 10))
         A = rng.uniform(-2, 2, (n, n))  # deliberately asymmetric
         q = MatrixQuantizer(bits)
@@ -36,13 +37,13 @@ class TestQuantizeGeneral:
 
 class TestAsymmetricCrossbar:
     def test_tile_mode_stores_asymmetric_blocks(self):
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         block = rng.uniform(-1, 1, (12, 12))
         xb = DgFefetCrossbar(block, require_symmetric=False, seed=0)
         assert np.max(np.abs(xb.matrix_hat - block)) <= xb.quantized.lsb / 2 + 1e-12
 
     def test_tile_mode_evaluates_products(self):
-        rng = np.random.default_rng(4)
+        rng = ensure_rng(4)
         block = rng.uniform(-1, 1, (10, 10))
         xb = DgFefetCrossbar(block, require_symmetric=False, seed=0)
         r = rng.choice([-1.0, 0.0, 1.0], 10)

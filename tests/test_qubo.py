@@ -10,10 +10,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ising import IsingModel, QuboModel
+from repro.utils.rng import ensure_rng
 
 
 def random_qubo(seed, n=None):
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = n or int(rng.integers(2, 9))
     Q = rng.uniform(-2, 2, (n, n))
     Q = (Q + Q.T) / 2

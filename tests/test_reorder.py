@@ -29,7 +29,8 @@ from repro.core import (
     reorder_permutation,
     solve_ising,
 )
-from repro.ising import IsingModel, SparseIsingModel
+from repro.ising import SparseIsingModel
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=12,
@@ -40,7 +41,7 @@ relaxed = settings(
 
 def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingModel:
     """Seeded random sparse model with exactly-representable couplings."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(6, 40))
     m = int(rng.integers(n, 3 * n))
     pairs = rng.choice(n * (n - 1) // 2, size=min(m, n * (n - 1) // 2), replace=False)
@@ -55,7 +56,7 @@ def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingMode
 
 
 def random_permutation(n: int, seed: int) -> Permutation:
-    return Permutation(np.random.default_rng(seed).permutation(n))
+    return Permutation(ensure_rng(seed).permutation(n))
 
 
 def scattered_circulant(n: int, seed: int = 99) -> SparseIsingModel:
@@ -65,7 +66,7 @@ def scattered_circulant(n: int, seed: int = 99) -> SparseIsingModel:
     order); the relabelling scatters its edges over the whole matrix —
     exactly the layout problem RCM is meant to undo.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     base = np.arange(n)
     u = np.concatenate([base, base, base])
     v = np.concatenate([(base + k) % n for k in (1, 2, 3)])
@@ -122,6 +123,7 @@ class TestPermutedModels:
         model = dyadic_sparse_model(seed, with_fields=True)
         p = random_permutation(model.num_spins, seed + 3)
         assert np.array_equal(
+            # repro-lint: disable=RPL001 (dense-permute equivalence oracle)
             model.permuted(p).toarray(), model.to_dense().permuted(p).J
         )
 
@@ -287,7 +289,7 @@ class TestTiledReordering:
         — the same representability story as the ±1-weighted G-sets — so
         the machine comparison is bit-for-bit.
         """
-        rng = np.random.default_rng(77)
+        rng = ensure_rng(77)
         n = 30
         rows, cols = np.triu_indices(n, k=1)
         keep = rng.random(rows.size) < 0.15
@@ -331,7 +333,7 @@ class TestTiledReordering:
         natural order bandwidth ``n − 1``, which RCM improves by cutting
         the cycle.  A path's band is irreducible.)
         """
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         n = 400
         u = np.concatenate([np.arange(n - 1), np.arange(n - 2)])
         v = np.concatenate([np.arange(1, n), np.arange(2, n)])
@@ -375,7 +377,7 @@ class TestPermutationObject:
     def test_inverse_composes_to_identity(self):
         p = random_permutation(20, 1)
         assert np.array_equal(p.forward[p.inverse.forward], np.arange(20))
-        x = np.random.default_rng(2).normal(size=20)
+        x = ensure_rng(2).normal(size=20)
         assert np.array_equal(p.restore_vector(p.permute_vector(x)), x)
 
     def test_rejects_non_permutations(self):

@@ -29,6 +29,7 @@ from repro.core import (
 )
 from repro.core.reorder import Permutation
 from repro.ising import IsingModel, MaxCutProblem, SparseIsingModel
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=12,
@@ -39,7 +40,7 @@ relaxed = settings(
 
 def dyadic_sparse_model(seed: int, with_fields: bool = False) -> SparseIsingModel:
     """Seeded random sparse model with exactly-representable couplings."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(6, 40))
     m = int(rng.integers(n, 3 * n))
     pairs = rng.choice(n * (n - 1) // 2, size=min(m, n * (n - 1) // 2), replace=False)
@@ -70,7 +71,7 @@ class TestMatvecParity:
         sparse = dyadic_sparse_model(seed)
         dense_ops = coupling_ops(sparse.to_dense())
         sparse_ops = coupling_ops(sparse)
-        rng = np.random.default_rng(seed + 1)
+        rng = ensure_rng(seed + 1)
         n = sparse.num_spins
         # spins and dyadic continuous positions (k/64 ∈ [-1, 1])
         for x in (
@@ -91,7 +92,7 @@ class TestMatvecParity:
         sparse = dyadic_sparse_model(seed)
         dense_ops = coupling_ops(sparse.to_dense())
         sparse_ops = coupling_ops(sparse)
-        rng = np.random.default_rng(seed + 2)
+        rng = ensure_rng(seed + 2)
         x = rng.normal(size=sparse.num_spins)
         assert np.allclose(
             dense_ops.matvec(x), sparse_ops.matvec(x), rtol=1e-12, atol=1e-12
@@ -107,7 +108,7 @@ class TestMatvecParity:
     def test_batch_rows_equal_single_matvec(self, seed):
         """batch_matvec is row-wise matvec, bit for bit, on both backends."""
         sparse = dyadic_sparse_model(seed)
-        rng = np.random.default_rng(seed + 3)
+        rng = ensure_rng(seed + 3)
         X = rng.integers(-64, 65, size=(4, sparse.num_spins)) / 64.0
         for ops in (coupling_ops(sparse), coupling_ops(sparse.to_dense())):
             batch = ops.batch_matvec(X)
@@ -254,7 +255,7 @@ class TestSbEngine:
         model with the relabelling declared coincides bit for bit (dSB:
         matvec inputs are ±1, so row sums are exact in any order)."""
         model = dyadic_sparse_model(41, with_fields=True)
-        p = Permutation(np.random.default_rng(8).permutation(model.num_spins))
+        p = Permutation(ensure_rng(8).permutation(model.num_spins))
         base = SbEngine(model, replicas=3, variant=variant, seed=9).run(150)
         mapped = SbEngine(
             model.permuted(p), replicas=3, variant=variant, seed=9,
@@ -346,7 +347,7 @@ class TestTiledSb:
         model = problem.to_ising(backend="sparse")
         crossbar = TiledCrossbar(model, tile_size=16)
         ops = coupling_ops(crossbar.stored_model())
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         x = rng.choice([-1.0, 1.0], size=model.num_spins)
         assert np.array_equal(crossbar.matvec(x), ops.matvec(x))
         X = rng.choice([-1.0, 1.0], size=(4, model.num_spins))
@@ -398,7 +399,7 @@ class TestTiledSb:
         — the same story as the ±1-weighted G-sets — so the stored-image
         energies the tiled path reports equal the true model energies.
         """
-        rng = np.random.default_rng(77)
+        rng = ensure_rng(77)
         n = 30
         rows, cols = np.triu_indices(n, k=1)
         keep = rng.random(rows.size) < 0.15

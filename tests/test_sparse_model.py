@@ -33,6 +33,7 @@ from repro.ising import (
     dense_couplings,
     recommended_backend,
 )
+from repro.utils.rng import ensure_rng
 
 relaxed = settings(
     max_examples=15,
@@ -43,7 +44,7 @@ relaxed = settings(
 
 def dyadic_pair(seed: int, n: int | None = None, with_fields: bool = True):
     """A (dense, sparse) model pair with exactly-representable couplings."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = int(rng.integers(2, 25)) if n is None else n
     values = rng.integers(-8, 9, size=(n, n)) / 8.0
     mask = rng.random((n, n)) < 0.3
@@ -59,7 +60,7 @@ class TestModelEquivalence:
     @given(seed=st.integers(0, 10_000))
     def test_energy_and_local_fields_bit_for_bit(self, seed):
         dense, sparse = dyadic_pair(seed)
-        rng = np.random.default_rng(seed + 1)
+        rng = ensure_rng(seed + 1)
         for _ in range(3):
             sigma = dense.random_configuration(rng)
             assert sparse.energy(sigma) == dense.energy(sigma)
@@ -71,7 +72,7 @@ class TestModelEquivalence:
     @given(seed=st.integers(0, 10_000))
     def test_delta_energy_flips_bit_for_bit(self, seed):
         dense, sparse = dyadic_pair(seed)
-        rng = np.random.default_rng(seed + 2)
+        rng = ensure_rng(seed + 2)
         n = dense.num_spins
         sigma = dense.random_configuration(rng)
         for _ in range(4):
@@ -90,7 +91,7 @@ class TestModelEquivalence:
     @given(seed=st.integers(0, 10_000))
     def test_delta_energy_single_and_helper(self, seed):
         dense, sparse = dyadic_pair(seed)
-        rng = np.random.default_rng(seed + 3)
+        rng = ensure_rng(seed + 3)
         sigma = dense.random_configuration(rng)
         g = dense.local_fields(sigma)
         for idx in rng.integers(dense.num_spins, size=4):
@@ -111,8 +112,10 @@ class TestModelEquivalence:
     def test_transformations_match(self, seed):
         dense, sparse = dyadic_pair(seed)
         assert sparse.max_abs_coupling() == dense.max_abs_coupling()
+        # Equivalence harness: comparing against the dense backend
+        # is the point here.  # repro-lint: disable=RPL001
         assert np.array_equal(dense_couplings(sparse), dense.J)
-        rng = np.random.default_rng(seed + 4)
+        rng = ensure_rng(seed + 4)
         sigma = np.concatenate(([1], dense.random_configuration(rng)))
         assert sparse.with_ancilla().energy(sigma) == pytest.approx(
             dense.with_ancilla().energy(sigma), abs=1e-12
@@ -194,6 +197,8 @@ class TestConstructionAndSelection:
         sigma = via_edges.random_configuration(1)
         assert via_edges.num_interactions == problem.num_edges
         assert via_edges.energy(sigma) == via_dense.energy(sigma)
+        # Equivalence harness (tiny model): densify to compare.
+        # repro-lint: disable=RPL001
         assert np.array_equal(via_edges.toarray(), via_dense.toarray())
 
     def test_from_edges_validation(self):

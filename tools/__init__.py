@@ -1,0 +1,1 @@
+"""Development tooling for the repository (not shipped with the package)."""

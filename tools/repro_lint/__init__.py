@@ -1,0 +1,18 @@
+"""repro-lint: AST-based linter for this repository's correctness contracts.
+
+The reproduction's performance and reproducibility claims rest on
+invariants that used to live only in reviewer vigilance and runtime bench
+traps: no densification on the sparse/tiled hot paths, explicit
+``np.random.Generator`` threading, ``check_*`` validation at public
+boundaries, bit-identity between scalar and vectorised code paths, and
+full API/CLI parity for the solve knobs.  This package turns each of them
+into a machine-checked rule (``RPL001``-``RPL006``) with inline
+``# repro-lint: disable=RPLxxx`` suppressions and unused-suppression
+detection, runnable as ``python -m tools.repro_lint``.
+"""
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.engine import Finding, run_lint
+from tools.repro_lint.rules import ALL_RULES, default_rules
+
+__all__ = ["ALL_RULES", "Finding", "LintConfig", "default_rules", "run_lint"]

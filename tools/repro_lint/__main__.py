@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m tools.repro_lint src benchmarks tests``."""
+
+import sys
+
+from tools.repro_lint.cli import main
+
+sys.exit(main())

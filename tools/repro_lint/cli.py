@@ -1,0 +1,69 @@
+"""``python -m tools.repro_lint`` — lint the repo's correctness contracts.
+
+Exit codes: 0 clean, 1 findings (including unused suppressions),
+2 usage errors (unknown paths, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.engine import run_lint
+from tools.repro_lint.reporters import render_json, render_text
+from tools.repro_lint.rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter: densification bans, RNG "
+            "discipline, boundary validation, aliasing/ulp traps and "
+            "API/CLI parity, as CI-enforced rules"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src benchmarks tests)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root the config's relative paths resolve against",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = LintConfig()
+    rules = default_rules(config)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        print("RPL000  unused-suppression: every inline suppression must match a finding")
+        return 0
+    paths = list(args.paths) if args.paths else list(config.default_paths)
+    try:
+        findings, files_scanned = run_lint(
+            paths, root=args.root, rules=rules, config=config
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, files_scanned, rules))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

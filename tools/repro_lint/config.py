@@ -1,0 +1,131 @@
+"""Repository-specific configuration for the invariant linter.
+
+Everything path-shaped in here is a POSIX-style path *relative to the
+repository root* (the ``--root`` the CLI runs from).  The allowlists are
+deliberately explicit: each entry names the module that is *allowed* to
+break an invariant, and the comment next to it says why.  New entries
+belong in code review, not in a quick edit to make CI green.
+
+The parity tables at the bottom are shared with the runtime test
+(``tests/test_api_cli_parity.py``) so the static rule RPL006 and the
+signature-introspection test can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Modules allowed to densify couplings (RPL001).  ``sparse.py`` *owns*
+#: ``toarray``/``dense_couplings`` — the ban is on calling them from hot
+#: paths, not on defining them.  Everything else must carry an inline
+#: ``# repro-lint: disable=RPL001`` with a justification comment.
+DENSIFY_PATH_ALLOWLIST: tuple[str, ...] = (
+    "src/repro/ising/sparse.py",
+)
+
+#: Identifier names that the ``np.asarray``/``np.array`` half of RPL001
+#: treats as "probably a coupling object".  A heuristic by construction:
+#: the precise bans are ``.toarray()`` and ``dense_couplings()``.
+COUPLING_NAMES: frozenset[str] = frozenset(
+    {"model", "sparse_model", "coupling", "couplings", "hw_model"}
+)
+
+#: The one module allowed to call ``np.random.default_rng`` (RPL002):
+#: the RNG plumbing itself.  Everyone else takes seeds/generators through
+#: ``ensure_rng``/``spawn_rng`` so fixed-seed trajectories stay
+#: bit-identical and replayable.
+RNG_HOME: str = "src/repro/utils/rng.py"
+
+#: ``np.random`` attributes that are *not* legacy global-state RNG
+#: (types and bit generators used in annotations / isinstance checks).
+NP_RANDOM_ALLOWED_ATTRS: frozenset[str] = frozenset(
+    {
+        "default_rng",  # still restricted to RNG_HOME, but not "legacy"
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Count-style keyword names that must be validated at public boundaries
+#: (RPL003).  ``check_count`` rejects bools and non-integers; a bare
+#: ``int(iterations)`` silently runs ``True`` as one iteration.
+COUNT_PARAMS: frozenset[str] = frozenset(
+    {
+        "iterations",
+        "replicas",
+        "num_replicas",
+        "tile_size",
+        "flips_per_iteration",
+        "best_every",
+    }
+)
+
+#: Modules whose *public functions* RPL003 audits (engine ``run()``
+#: methods are audited everywhere under ``src/``).
+BOUNDARY_MODULES: tuple[str, ...] = (
+    "src/repro/core/solver.py",
+    "src/repro/cli.py",
+)
+
+#: Callables that are known to validate the count parameters they are
+#: handed (so forwarding to them satisfies RPL003).  ``solve_maxcut``
+#: delegates every count knob to ``solve_ising``, which runs the
+#: ``check_*`` battery at its own boundary.
+VALIDATING_SINKS: frozenset[str] = frozenset(
+    {"solve_ising", "solve_sb", "_check_solve_args"}
+)
+
+#: The API/CLI parity contract (RPL006 + tests/test_api_cli_parity.py).
+#: Functions whose keyword arguments must each be reachable through the
+#: CLI ``solve`` subcommand.
+PARITY_FUNCTIONS: tuple[str, ...] = ("solve_ising", "solve_maxcut")
+PARITY_SOLVER_MODULE: str = "src/repro/core/solver.py"
+PARITY_CLI_MODULE: str = "src/repro/cli.py"
+
+#: Keywords whose CLI flag is not the mechanical ``--kebab-case`` form.
+#: ``reference_cut`` is *computed* by the CLI (``--reference`` triggers a
+#: reference-cut computation and threads the value through).
+PARITY_FLAG_MAP: dict[str, str] = {
+    "reference_cut": "--reference",
+}
+
+#: Keywords that intentionally have no CLI flag.  Empty today — every
+#: solve knob is CLI-reachable; additions need a rationale comment here.
+PARITY_CLI_LESS: frozenset[str] = frozenset()
+
+#: ``**solver_kwargs`` knobs the CLI exposes under bespoke flags.  Not
+#: part of the signatures RPL006 walks, but pinned by the runtime parity
+#: test so the flags cannot vanish while the engines still accept them.
+SOLVER_KWARG_FLAGS: dict[str, str] = {
+    "flips_per_iteration": "--flips",
+    "variant": "--sb-variant",
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Bundled configuration handed to every rule instance."""
+
+    densify_path_allowlist: tuple[str, ...] = DENSIFY_PATH_ALLOWLIST
+    coupling_names: frozenset[str] = COUPLING_NAMES
+    rng_home: str = RNG_HOME
+    np_random_allowed_attrs: frozenset[str] = NP_RANDOM_ALLOWED_ATTRS
+    count_params: frozenset[str] = COUNT_PARAMS
+    boundary_modules: tuple[str, ...] = BOUNDARY_MODULES
+    validating_sinks: frozenset[str] = VALIDATING_SINKS
+    parity_functions: tuple[str, ...] = PARITY_FUNCTIONS
+    parity_solver_module: str = PARITY_SOLVER_MODULE
+    parity_cli_module: str = PARITY_CLI_MODULE
+    parity_flag_map: dict[str, str] = field(
+        default_factory=lambda: dict(PARITY_FLAG_MAP)
+    )
+    parity_cli_less: frozenset[str] = PARITY_CLI_LESS
+
+    #: Default lint targets when the CLI is invoked without paths.
+    default_paths: tuple[str, ...] = ("src", "benchmarks", "tests")

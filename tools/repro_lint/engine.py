@@ -1,0 +1,266 @@
+"""Linter engine: file contexts, alias resolution, suppressions, runner.
+
+The engine is pure stdlib (``ast`` + ``tokenize``-free line scanning) so
+it can run in CI before any dependency is installed.  Rules receive a
+:class:`FileContext` per file — parsed tree, raw lines, and an
+import-alias table that resolves ``np.random.default_rng`` no matter how
+``numpy`` was imported — and may also implement a project-wide pass that
+sees every file at once (used by the API/CLI parity rule).
+
+Suppressions
+------------
+A finding on line *L* is suppressed by ``# repro-lint: disable=RPL001``
+either trailing on line *L* itself or on a comment-only line directly
+above it (for statements that do not fit one line).  Multiple codes are
+comma-separated.  Every suppression must match a finding: stale ones are
+reported as ``RPL000`` so allowlist entries cannot outlive the code they
+excuse.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
+
+#: Engine pseudo-codes (not rule classes).
+UNUSED_SUPPRESSION = "RPL000"
+SYNTAX_ERROR = "RPL900"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Suppressions:
+    """Per-file suppression table with used/unused bookkeeping."""
+
+    def __init__(self, lines: list[str]) -> None:
+        # (comment_line, code) -> set of target lines it covers
+        self._targets: dict[tuple[int, str], set[int]] = {}
+        self._used: set[tuple[int, str]] = set()
+        # target line -> [(comment_line, code), ...]
+        self._by_line: dict[int, list[tuple[int, str]]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = [c.strip() for c in match.group(1).split(",")]
+            if text.lstrip().startswith("#"):
+                # Comment-only line: covers the next non-comment line.
+                target = lineno + 1
+                while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                    target += 1
+            else:
+                target = lineno
+            for code in codes:
+                self._targets[(lineno, code)] = {target}
+                self._by_line.setdefault(target, []).append((lineno, code))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for key in self._by_line.get(finding.line, []):
+            if key[1] == finding.code:
+                self._used.add(key)
+                return True
+        return False
+
+    def unused(self, path: str) -> list[Finding]:
+        findings = []
+        for (lineno, code), _ in sorted(self._targets.items()):
+            if (lineno, code) not in self._used:
+                findings.append(
+                    Finding(
+                        path, lineno, 0, UNUSED_SUPPRESSION,
+                        f"unused suppression: no {code} finding on the line "
+                        f"it covers (remove it, or it will hide a future "
+                        f"regression silently)",
+                    )
+                )
+        return findings
+
+
+class FileContext:
+    """A parsed source file plus import-alias resolution helpers."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.aliases = self._collect_aliases(tree, path)
+
+    @staticmethod
+    def _module_name(path: str) -> str | None:
+        """Dotted module name for ``src``-layout files (for relative imports)."""
+        parts = Path(path).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+            if parts and parts[-1] == "__init__":
+                parts = parts[:-1]
+            return ".".join(parts) if parts else None
+        return None
+
+    @classmethod
+    def _collect_aliases(cls, tree: ast.Module, path: str) -> dict[str, str]:
+        """Map local names to canonical dotted paths.
+
+        Function-level imports are folded into the same table — for lint
+        purposes a name imported anywhere in the file counts everywhere
+        (a deliberate over-approximation that keeps the resolver simple).
+        """
+        module = cls._module_name(path)
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds the top-level name ``a``.
+                        top = alias.name.split(".")[0]
+                        aliases[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    if module is None:
+                        continue
+                    anchor = module.split(".")
+                    # level=1 is "this package" for __init__, "sibling"
+                    # for plain modules; both drop `level` trailing parts.
+                    anchor = anchor[: len(anchor) - node.level] if len(anchor) >= node.level else []
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{base}.{alias.name}" if base else alias.name
+        return aliases
+
+    def dotted(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a canonical dotted path.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        for any import spelling (``import numpy as np``, ``from numpy
+        import random``, ``from numpy.random import default_rng``).
+        Returns ``None`` for non-static expressions (calls, subscripts).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class Project:
+    """All file contexts of one lint run (for cross-file rules)."""
+
+    def __init__(self, contexts: list[FileContext]) -> None:
+        self.contexts = contexts
+        self._by_path = {ctx.path: ctx for ctx in contexts}
+
+    def get(self, path: str) -> FileContext | None:
+        return self._by_path.get(path)
+
+
+def collect_files(paths: list[str], root: Path) -> list[Path]:
+    """Expand the given paths (relative to ``root``) into ``*.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        target = (root / raw).resolve()
+        if target.is_dir():
+            files.extend(
+                p for p in sorted(target.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.relative_to(root).parts)
+            )
+        elif target.suffix == ".py" and target.exists():
+            files.append(target)
+        else:
+            raise FileNotFoundError(f"lint target {raw!r} not found under {root}")
+    # De-duplicate while preserving order.
+    seen: set[Path] = set()
+    unique = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def run_lint(paths: list[str], root: Path | str = ".", rules=None, config=None):
+    """Lint ``paths`` and return ``(findings, files_scanned)``.
+
+    Findings are sorted by (path, line, col, code) and already account
+    for inline suppressions; unused suppressions are appended as
+    ``RPL000`` findings.
+    """
+    from tools.repro_lint.config import LintConfig
+    from tools.repro_lint.rules import default_rules
+
+    root = Path(root).resolve()
+    config = config or LintConfig()
+    rules = default_rules(config) if rules is None else rules
+
+    findings: list[Finding] = []
+    contexts: list[FileContext] = []
+    suppressions: dict[str, Suppressions] = {}
+
+    for file in collect_files(list(paths), root):
+        rel = file.relative_to(root).as_posix()
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(rel, exc.lineno or 1, exc.offset or 0, SYNTAX_ERROR,
+                        f"could not parse file: {exc.msg}")
+            )
+            continue
+        ctx = FileContext(rel, source, tree)
+        contexts.append(ctx)
+        suppressions[rel] = Suppressions(ctx.lines)
+        for rule in rules:
+            findings.extend(rule.check(ctx))
+
+    project = Project(contexts)
+    for rule in rules:
+        findings.extend(rule.finish(project))
+
+    kept = []
+    for finding in findings:
+        table = suppressions.get(finding.path)
+        if table is not None and table.is_suppressed(finding):
+            continue
+        kept.append(finding)
+    for rel, table in suppressions.items():
+        kept.extend(table.unused(rel))
+    kept.sort(key=Finding.sort_key)
+    return kept, len(contexts)

@@ -1,0 +1,45 @@
+"""Finding reporters: terminal text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from tools.repro_lint.engine import Finding
+
+
+def render_text(findings: list[Finding], files_scanned: int, rules) -> str:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    lines = [f.render() for f in findings]
+    if findings:
+        per_code: dict[str, int] = {}
+        for f in findings:
+            per_code[f.code] = per_code.get(f.code, 0) + 1
+        breakdown = ", ".join(f"{code} x{n}" for code, n in sorted(per_code.items()))
+        lines.append(
+            f"repro-lint: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} ({breakdown}) "
+            f"in {files_scanned} files"
+        )
+    else:
+        lines.append(
+            f"repro-lint: clean ({files_scanned} files, "
+            f"{len(rules)} rules)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int, rules) -> str:
+    """Stable JSON document (for CI annotation tooling)."""
+    return json.dumps(
+        {
+            "clean": not findings,
+            "files_scanned": files_scanned,
+            "rules": [
+                {"code": r.code, "name": r.name, "summary": r.summary}
+                for r in rules
+            ],
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+        sort_keys=False,
+    )

@@ -1,0 +1,441 @@
+"""The invariant rules.
+
+Each rule encodes a correctness contract this repository has actually
+been burned by (the PR that motivated it is named in the rule docstring),
+so a finding is never stylistic: it is "this line can silently break a
+performance claim or a golden trajectory".
+
+Rules implement ``check(ctx)`` for single-file passes and/or
+``finish(project)`` for cross-file passes run after every file has been
+parsed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from fnmatch import fnmatch
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.engine import FileContext, Finding, Project
+
+
+class Rule:
+    """Base class: rules yield findings from per-file or project passes."""
+
+    code: str = "RPL999"
+    name: str = "abstract"
+    summary: str = ""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            ctx.path, getattr(node, "lineno", 1), getattr(node, "col_offset", 0),
+            self.code, message,
+        )
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The simple (rightmost) name of a call target, if any."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _name_refs(nodes: Iterable[ast.expr]) -> Iterator[str]:
+    for arg in nodes:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+
+
+class NoDensifyRule(Rule):
+    """RPL001 — densification ban on the sparse/tiled hot paths.
+
+    ``.toarray()`` / ``dense_couplings()`` materialise the O(n²) coupling
+    matrix that PR 1/2 spent two releases eliminating; one stray call on a
+    solver path silently blows the O(nnz) memory budget that the scaling
+    benches assert.  Programming a physical crossbar *is* densification,
+    so the arch sites carry inline allowlist entries and ``sparse.py``
+    (which owns the converters) is path-allowlisted in the config.
+    """
+
+    code = "RPL001"
+    name = "no-densify"
+    summary = (
+        "no .toarray()/dense_couplings()/np.asarray-on-couplings outside "
+        "the allowlisted arch/quantize sites"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if any(fnmatch(ctx.path, pat) for pat in self.config.densify_path_allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "toarray":
+                yield self.finding(
+                    ctx, node,
+                    ".toarray() materialises the dense (n, n) coupling "
+                    "matrix — solver paths must stay O(nnz); use "
+                    "coupling_ops(), or suppress with a justification if "
+                    "this is a crossbar-programming/equivalence site",
+                )
+                continue
+            dotted = ctx.dotted(func)
+            if dotted is not None and (
+                dotted == "dense_couplings" or dotted.endswith(".dense_couplings")
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "dense_couplings() densifies either backend — only "
+                    "crossbar-programming sites may call it (inline-"
+                    "suppress with the reason), solver paths go through "
+                    "coupling_ops()",
+                )
+                continue
+            if dotted in ("numpy.asarray", "numpy.array") and node.args:
+                arg = node.args[0]
+                target = None
+                if isinstance(arg, ast.Name):
+                    target = arg.id
+                elif isinstance(arg, ast.Attribute):
+                    target = arg.attr
+                if target in self.config.coupling_names:
+                    yield self.finding(
+                        ctx, node,
+                        f"np.{dotted.rsplit('.', 1)[1]}({target}) on a "
+                        "coupling object densifies it — convert through "
+                        "as_backend()/dense_couplings() at an allowlisted "
+                        "site instead",
+                    )
+
+
+class RngDisciplineRule(Rule):
+    """RPL002 — RNG discipline for bit-identical fixed-seed trajectories.
+
+    Legacy ``np.random.*`` module calls mutate hidden global state, so one
+    call anywhere desynchronises every golden-regression stream.  Even
+    ``default_rng`` is restricted to ``repro.utils.rng``: components take
+    seeds through ``ensure_rng``/``spawn_rng`` so streams thread
+    explicitly and replica spawning stays deterministic.
+    """
+
+    code = "RPL002"
+    name = "rng-discipline"
+    summary = (
+        "no legacy np.random.* global-state calls; np.random.default_rng "
+        "only inside repro.utils.rng (use ensure_rng/spawn_rng)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted is None or not dotted.startswith("numpy.random."):
+                continue
+            attr = dotted[len("numpy.random."):].split(".")[0]
+            if dotted == "numpy.random.default_rng":
+                if ctx.path != self.config.rng_home:
+                    yield self.finding(
+                        ctx, node,
+                        "np.random.default_rng() outside repro.utils.rng — "
+                        "take an RngLike seed and route it through "
+                        "ensure_rng()/spawn_rng() so streams thread "
+                        "explicitly",
+                    )
+            elif attr not in self.config.np_random_allowed_attrs:
+                yield self.finding(
+                    ctx, node,
+                    f"legacy global-state RNG call np.random.{attr}() — "
+                    "it desynchronises every fixed-seed trajectory; use a "
+                    "Generator from ensure_rng()",
+                )
+
+
+class BoundaryValidationRule(Rule):
+    """RPL003 — count parameters validated at public boundaries.
+
+    ``iterations=True`` used to slip through ``operator.index`` and
+    silently run one iteration (fixed in PR 2/4 with ``check_count``).
+    Public functions in the solve/CLI modules and every engine ``run()``
+    method must validate count-style parameters with a ``check_*``
+    helper, or forward them to a callee that does (``solve_ising``).
+    """
+
+    code = "RPL003"
+    name = "boundary-validation"
+    summary = (
+        "public solve/CLI functions and engine run() methods must "
+        "check_*-validate count kwargs (iterations/replicas/...) or "
+        "forward them to a validating sink"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        is_boundary_module = ctx.path in self.config.boundary_modules
+        is_src = ctx.path.startswith("src/")
+        if not (is_boundary_module or is_src):
+            return
+        for func, in_class in self._functions(ctx.tree):
+            audited = (
+                (is_boundary_module and not func.name.startswith("_"))
+                or (is_src and in_class and func.name == "run")
+            )
+            if not audited:
+                continue
+            params = [
+                a.arg
+                for a in (*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs)
+                if a.arg not in ("self", "cls")
+            ]
+            for param in params:
+                if param not in self.config.count_params:
+                    continue
+                if not self._validated(func, param):
+                    yield self.finding(
+                        ctx, func,
+                        f"{func.name}() accepts count parameter "
+                        f"{param!r} but never validates it — call "
+                        f"check_count(\"{param}\", {param}) at the "
+                        f"boundary (bools/floats otherwise run silently)",
+                    )
+
+    @staticmethod
+    def _functions(tree: ast.Module):
+        """Yield ``(function_node, is_method)`` over the whole module."""
+
+        def walk(node: ast.AST, in_class: bool):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, in_class
+                    yield from walk(child, False)
+                elif isinstance(child, ast.ClassDef):
+                    yield from walk(child, True)
+                else:
+                    yield from walk(child, in_class)
+
+        yield from walk(tree, False)
+
+    def _validated(self, func: ast.AST, param: str) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            is_checker = name.startswith("check_")
+            is_sink = name in self.config.validating_sinks
+            if not (is_checker or is_sink):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            if param in _name_refs(values):
+                return True
+        return False
+
+
+class ReshapeScatterAliasRule(Rule):
+    """RPL004 — the F-order aliasing trap (the PR 4 bug class).
+
+    ``g.reshape(-1)[flat] -= ...`` only updates ``g`` when the reshape
+    returns a *view*, which silently depends on ``g`` being C-contiguous
+    — a fancy-indexing gather upstream (``fields[:, perm]``) returns
+    F-order and turns the scatter into a write to a temporary copy.
+    Audited sites must suppress inline, stating why the operand is
+    guaranteed C-contiguous.
+    """
+
+    code = "RPL004"
+    name = "reshape-scatter-alias"
+    summary = (
+        "no scatter-assignment through .reshape(-1)/.ravel() views — "
+        "aliasing silently depends on memory order"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Call)
+                    and isinstance(target.value.func, ast.Attribute)
+                ):
+                    continue
+                call = target.value
+                attr = call.func.attr
+                if attr == "ravel" or (
+                    attr == "reshape" and self._is_flatten(call.args)
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"scatter-assignment through .{attr}() aliases the "
+                        "base array only when it is C-contiguous — an "
+                        "F-ordered operand (e.g. from a fancy-index "
+                        "gather) turns this into a silent no-op on a "
+                        "copy; scatter into the array directly or "
+                        "suppress with the contiguity argument",
+                    )
+
+    @staticmethod
+    def _is_flatten(args: list[ast.expr]) -> bool:
+        if len(args) != 1:
+            return False
+        arg = args[0]
+        if (
+            isinstance(arg, ast.UnaryOp)
+            and isinstance(arg.op, ast.USub)
+            and isinstance(arg.operand, ast.Constant)
+            and arg.operand.value == 1
+        ):
+            return True
+        return isinstance(arg, ast.Constant) and arg.value == -1
+
+
+class UlpDriftRule(Rule):
+    """RPL005 — ulp-drift trap (the PR 6 bug class).
+
+    ``np.power``/``math.pow`` and the ``**`` operator may differ in the
+    last ulp, so a vectorised profile built with one and a scalar path
+    built with the other breaks bit-identity between access paths (the
+    ``GeometricSchedule`` cache exists precisely because of this).  Use
+    ``**`` on both siblings.
+    """
+
+    code = "RPL005"
+    name = "ulp-drift"
+    summary = "no np.power/math.pow — use ** so vectorised and scalar paths agree bit-for-bit"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted in ("numpy.power", "math.pow"):
+                fn = "np.power" if dotted == "numpy.power" else "math.pow"
+                yield self.finding(
+                    ctx, node,
+                    f"{fn}() can differ from ** in the last ulp, breaking "
+                    "bit-identity with the sibling scalar/vectorised "
+                    "path — write the exponentiation with ** on both",
+                )
+
+
+class ApiCliParityRule(Rule):
+    """RPL006 — API/CLI parity: no half-wired solve knobs.
+
+    Every keyword of ``solve_ising``/``solve_maxcut`` must be reachable
+    through the CLI ``solve`` subcommand (PR 2-6 each added a knob, and
+    each had to remember the flag by hand).  The expected flag is the
+    kebab-cased keyword unless the parity map in the config says
+    otherwise; intentionally CLI-less keywords live in the config
+    allowlist, which the runtime parity test pins too.
+    """
+
+    code = "RPL006"
+    name = "api-cli-parity"
+    summary = (
+        "every solve_ising/solve_maxcut keyword needs a --flag on the "
+        "CLI solve subcommand (or a config allowlist entry)"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        solver = project.get(self.config.parity_solver_module)
+        cli = project.get(self.config.parity_cli_module)
+        if solver is None or cli is None:
+            return
+        flags = self._solve_flags(cli)
+        if flags is None:
+            yield Finding(
+                cli.path, 1, 0, self.code,
+                "could not locate the 'solve' subparser (add_parser(\"solve\", "
+                "...)) — the API/CLI parity rule has nothing to check against",
+            )
+            return
+        for node in solver.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name not in self.config.parity_functions:
+                continue
+            params = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+            params += [a.arg for a in node.args.kwonlyargs]
+            for param in params[1:]:  # first parameter is the model/problem
+                if param in self.config.parity_cli_less:
+                    continue
+                expected = self.config.parity_flag_map.get(
+                    param, "--" + param.replace("_", "-")
+                )
+                if expected not in flags:
+                    yield Finding(
+                        solver.path, node.lineno, node.col_offset, self.code,
+                        f"{node.name}() keyword {param!r} has no CLI flag "
+                        f"{expected} on the solve subcommand — wire it up "
+                        f"in cli.py or allowlist it in "
+                        f"tools/repro_lint/config.py (PARITY_CLI_LESS)",
+                    )
+
+    @staticmethod
+    def _solve_flags(cli: FileContext) -> set[str] | None:
+        """Option strings registered on the ``solve`` subparser."""
+        parser_vars: set[str] = set()
+        for node in ast.walk(cli.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == "add_parser"
+                and node.value.args
+                and isinstance(node.value.args[0], ast.Constant)
+                and node.value.args[0].value == "solve"
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        parser_vars.add(target.id)
+        if not parser_vars:
+            return None
+        flags: set[str] = set()
+        for node in ast.walk(cli.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in parser_vars
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        if arg.value.startswith("--"):
+                            flags.add(arg.value)
+        return flags
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    NoDensifyRule,
+    RngDisciplineRule,
+    BoundaryValidationRule,
+    ReshapeScatterAliasRule,
+    UlpDriftRule,
+    ApiCliParityRule,
+)
+
+
+def default_rules(config: LintConfig) -> list[Rule]:
+    """Instantiate every registered rule against ``config``."""
+    return [cls(config) for cls in ALL_RULES]
