@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.units import NANO, PICO
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_count, check_positive
 
 
 @dataclass(frozen=True)
@@ -46,13 +46,19 @@ class SarAdc:
     mux_ratio: int = 8
 
     def __post_init__(self) -> None:
-        if self.bits < 1 or self.bits > 24:
+        # check_count rejects bools (True passed `1 <= bits <= 24` as a
+        # 1-bit ADC) and non-integer floats (2.7 crashed later at
+        # `1 << bits`); frozen dataclass, so write the normalised value
+        # back through object.__setattr__.
+        object.__setattr__(self, "bits", check_count("bits", self.bits))
+        if self.bits > 24:
             raise ValueError(f"bits must be in [1, 24], got {self.bits}")
         check_positive("full_scale", self.full_scale)
         check_positive("energy_per_conversion", self.energy_per_conversion)
         check_positive("time_per_conversion", self.time_per_conversion)
-        if self.mux_ratio < 1:
-            raise ValueError("mux_ratio must be >= 1")
+        object.__setattr__(
+            self, "mux_ratio", check_count("mux_ratio", self.mux_ratio)
+        )
 
     @property
     def levels(self) -> int:

@@ -141,7 +141,10 @@ class DgFefetCrossbar:
             # arbitrary square matrices; the array itself doesn't care.
             self.quantized = self.quantizer.quantize_general(matrix, lsb=lsb)
         self.matrix_hat = self.quantized.dequantize()
-        self.bits = int(bits)
+        # The quantizer already check_count-validated bits; reuse its
+        # normalised value instead of re-coercing with int() (which let
+        # bool/float through).
+        self.bits = self.quantizer.bits
         self.n = self.matrix_hat.shape[0]
         self.wire = wire or WireModel()
         self.shift_add = shift_add or ShiftAddUnit()

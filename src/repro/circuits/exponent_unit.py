@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.units import NANO, PICO
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_count, check_positive
 
 
 @dataclass(frozen=True)
@@ -44,7 +44,15 @@ class ExponentUnit:
     def __post_init__(self) -> None:
         check_positive("energy_per_eval", self.energy_per_eval)
         check_positive("time_per_eval", self.time_per_eval)
-        if not 1 <= self.fraction_bits <= 30:
+        # check_count rejects bools (True passed as 1 fractional bit) and
+        # non-integer floats (2.7 crashed later at `1 << fraction_bits`);
+        # frozen dataclass, so write the normalised value back.
+        object.__setattr__(
+            self,
+            "fraction_bits",
+            check_count("fraction_bits", self.fraction_bits),
+        )
+        if self.fraction_bits > 30:
             raise ValueError("fraction_bits must be in [1, 30]")
 
     @classmethod

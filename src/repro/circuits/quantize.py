@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.validation import check_square_symmetric
+from repro.utils.validation import check_count, check_square_symmetric
 
 
 @dataclass(frozen=True)
@@ -86,9 +86,11 @@ class MatrixQuantizer:
     """
 
     def __init__(self, bits: int = 4) -> None:
-        if not 1 <= int(bits) <= 16:
-            raise ValueError(f"bits must be in [1, 16], got {bits}")
-        self.bits = int(bits)
+        # check_count rejects bool (True would quantize to 1 bit) and
+        # non-integer floats (2.7 used to silently truncate to 2 bits).
+        self.bits = check_count("bits", bits)
+        if self.bits > 16:
+            raise ValueError(f"bits must be in [1, 16], got {self.bits}")
 
     @property
     def max_level(self) -> int:

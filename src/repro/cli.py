@@ -182,8 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SB flavour when --method sb: 'discrete' (dSB, "
                             "default) feeds the matvec sign readouts, "
                             "'ballistic' (bSB) feeds continuous positions")
-    solve.add_argument("--backend", choices=("auto", "dense", "sparse"), default="auto",
-                       help="coupling backend (auto = density heuristic)")
+    solve.add_argument("--backend", choices=("auto", "dense", "sparse", "packed"),
+                       default="auto",
+                       help="coupling backend (auto = density heuristic, "
+                            "promoting to bit-packed 'packed' when all "
+                            "couplings share one ±magnitude; packed is "
+                            "bit-identical to sparse at a fraction of the "
+                            "replica state traffic)")
     solve.add_argument("--tile-size", type=int, default=None, metavar="S",
                        help="solve on the tiled crossbar machine with S-row "
                             "arrays (insitu and sb; sparse models shard "

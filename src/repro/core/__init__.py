@@ -5,6 +5,7 @@
   exponential factor, fitting, and the temperature→V_BG encoder;
 * :mod:`repro.core.schedule` — back-gate and conventional schedules;
 * :mod:`repro.core.coupling` — backend-agnostic coupling ops (dense/CSR);
+* :mod:`repro.core.packed` — popcount/XOR kernels for bit-packed ±1 couplings;
 * :mod:`repro.core.reorder` — bandwidth-reducing spin reordering (RCM);
 * :mod:`repro.core.partition` — multilevel min-cut tile partitioning;
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
@@ -22,6 +23,7 @@ from repro.core.batch import (
 )
 from repro.core.coupling import (
     DenseCouplingOps,
+    FloatBatchState,
     SparseCouplingOps,
     auto_acceptance_scale,
     coupling_ops,
@@ -42,6 +44,7 @@ from repro.core.incremental import (
     num_product_terms,
 )
 from repro.core.mesa import MesaAnnealer
+from repro.core.packed import PackedBatchState, PackedCouplingOps
 from repro.core.partition import (
     Partitioning,
     partition_model,
@@ -97,6 +100,9 @@ __all__ = [
     "auto_acceptance_scale",
     "DenseCouplingOps",
     "SparseCouplingOps",
+    "PackedCouplingOps",
+    "FloatBatchState",
+    "PackedBatchState",
     "Permutation",
     "Partitioning",
     "partition_model",

@@ -242,11 +242,18 @@ class _BatchEngine:
             # gather returns an F-ordered view — restore C order so the
             # cached-field scatter updates alias instead of copying.
             sigma = np.ascontiguousarray(sigma[:, self._bwd])
-        g = ops.batch_local_fields(sigma)  # (R, n)
+        # The replica spin tensor's layout is the backend's business:
+        # FloatBatchState keeps the historical float (R, n) tensor
+        # (dense/sparse trajectories byte-for-byte unchanged),
+        # PackedBatchState holds uint64 words with XOR flips.  The
+        # initial-energy einsum runs on the float draw before any flip,
+        # so it is valid for every state layout.
+        state = ops.make_batch_state(sigma)
+        g = state.fields  # (R, n)
         energy = np.einsum("rn,rn->r", sigma, g) + sigma @ h + self.model.offset
         best_energy = energy.copy()
-        best_sigma = sigma.copy()
         accepted = np.zeros(R, dtype=np.int64)
+        del sigma  # the state owns the replica spins from here on
         proposals = self._proposal_tensor(iterations)
         if self._fwd is not None:
             proposals = self._fwd[proposals]
@@ -255,7 +262,7 @@ class _BatchEngine:
         for it in range(iterations):
             temperature = schedule.temperature(it)
             idx = proposals[it]  # (R, t)
-            sig_f = sigma[rows, idx]
+            sig_f = state.gather(rows, idx)
             cross = ops.batch_cross_term(g, idx, sig_f)
             field_term = -(h[idx] * sig_f).sum(axis=1) if has_fields else 0.0
             delta_e = 4.0 * cross + 2.0 * field_term
@@ -266,23 +273,21 @@ class _BatchEngine:
                 cols = idx[acc]
                 vals = sig_f[acc]
                 ops.batch_update_fields(g, acc, cols, vals)
-                sigma[acc[:, None], cols] = -vals
+                state.flip(acc, cols, vals)
                 energy[acc] += delta_e[acc]
                 accepted[acc] += 1
                 improved = acc[energy[acc] < best_energy[acc]]
                 if improved.size:
                     best_energy[improved] = energy[improved]
-                    best_sigma[improved] = sigma[improved]
+                    state.record_best(improved)
 
-        if self._fwd is not None:
-            # Hand configurations back in the caller's original ordering.
-            sigma = sigma[:, self._fwd]
-            best_sigma = best_sigma[:, self._fwd]
+        # Readouts hand configurations back in the caller's original
+        # ordering (the state applies the forward permutation, if any).
         return BatchAnnealResult(
             best_energies=best_energy,
-            best_sigmas=best_sigma.astype(np.int8),
+            best_sigmas=state.best_sigmas(self._fwd),
             final_energies=energy,
-            final_sigmas=sigma.astype(np.int8),
+            final_sigmas=state.final_sigmas(self._fwd),
             accepted=accepted,
             iterations=iterations,
         )

@@ -22,13 +22,22 @@ pair: ``matvec(x)`` / ``batch_matvec(X)``, the plain coupling product
 readouts) — dense matrix product on one side, CSR ``bincount`` SpMV on
 the other, never densifying.
 
+The batch engine additionally owns a full replica spin tensor whose
+layout is backend business, not engine business: ``make_batch_state``
+returns the spin-state adapter (:class:`FloatBatchState` here, the
+bit-packed :class:`~repro.core.packed.PackedBatchState` on the packed
+backend) through which the engine gathers proposed spins, applies
+accepted flips, and snapshots per-replica bests.
+
 :func:`coupling_ops` wraps a model in the matching adapter:
 :class:`DenseCouplingOps` reproduces the seed's dense numpy expressions
 verbatim, :class:`SparseCouplingOps` evaluates the same formulas over CSR
-neighbour lists in O(degree) per flip.  Because both adapters compute the
+neighbour lists in O(degree) per flip, and
+:class:`~repro.core.packed.PackedCouplingOps` runs popcount/XOR kernels
+over bit-packed ±1 couplings.  Because all adapters compute the
 identical mathematical expressions (and identical floating-point values
 whenever sums are exactly representable), a solver is backend-transparent:
-hand it either model type and fixed-seed trajectories coincide.
+hand it any model type and fixed-seed trajectories coincide.
 """
 
 from __future__ import annotations
@@ -36,7 +45,59 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ising.model import IsingModel
+from repro.ising.packed import PackedIsingModel
 from repro.ising.sparse import SparseIsingModel
+
+
+class FloatBatchState:
+    """Replica spin state as the historical float ±1 ``(R, n)`` tensor.
+
+    The batch engine's spin-state protocol: ``fields`` caches the
+    ``(R, n)`` local fields, ``gather``/``flip`` read and toggle proposed
+    spins, ``record_best`` snapshots improved replicas, and the readout
+    methods return int8 configurations (optionally permutation-mapped).
+    Each operation is expression-for-expression the engine's historical
+    inline code, so dense/sparse fixed-seed trajectories — and the golden
+    rows pinned on them — are unchanged by the state abstraction.
+    """
+
+    def __init__(self, ops, sigma: np.ndarray) -> None:
+        self._sigma = sigma
+        #: Cached ``(R, n)`` local fields ``g_r = J σ_r`` (C-contiguous
+        #: per the batch_local_fields producer contract).
+        self.fields = ops.batch_local_fields(sigma)
+        self._best = sigma.copy()
+
+    def gather(self, rows: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Current values of spins ``idx[r]`` per replica (±1.0 float)."""
+        return self._sigma[rows, idx]
+
+    def flip(self, acc: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        """Negate spins ``cols[a]`` of accepted replicas ``acc``."""
+        self._sigma[acc[:, None], cols] = -vals
+
+    def record_best(self, improved: np.ndarray) -> None:
+        """Snapshot the current state of improved replicas."""
+        self._best[improved] = self._sigma[improved]
+
+    def _readout(self, sigma: np.ndarray, fwd: np.ndarray | None) -> np.ndarray:
+        if fwd is not None:
+            sigma = sigma[:, fwd]
+        return sigma.astype(np.int8)
+
+    def final_sigmas(self, fwd: np.ndarray | None) -> np.ndarray:
+        """The current replica spins as ``(R, n)`` int8."""
+        return self._readout(self._sigma, fwd)
+
+    def best_sigmas(self, fwd: np.ndarray | None) -> np.ndarray:
+        """The per-replica best snapshots as ``(R, n)`` int8."""
+        return self._readout(self._best, fwd)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the spin tensors and the field cache."""
+        return int(
+            self._sigma.nbytes + self._best.nbytes + self.fields.nbytes
+        )
 
 
 class DenseCouplingOps:
@@ -125,6 +186,10 @@ class DenseCouplingOps:
         """|J_ij| of all off-diagonal entries (both triangles)."""
         n = self._J.shape[0]
         return np.abs(self._J[~np.eye(n, dtype=bool)])
+
+    def make_batch_state(self, sigma: np.ndarray) -> FloatBatchState:
+        """Replica spin-state adapter for the batch engine (float layout)."""
+        return FloatBatchState(self, sigma)
 
     def memory_bytes(self) -> int:
         """Bytes held by the coupling storage."""
@@ -339,6 +404,10 @@ class SparseCouplingOps:
         """|J_ij| of all stored off-diagonal entries (both triangles)."""
         return self._model.offdiag_abs_values()
 
+    def make_batch_state(self, sigma: np.ndarray) -> FloatBatchState:
+        """Replica spin-state adapter for the batch engine (float layout)."""
+        return FloatBatchState(self, sigma)
+
     def memory_bytes(self) -> int:
         """Bytes held by the coupling storage."""
         return self._model.memory_bytes()
@@ -346,6 +415,12 @@ class SparseCouplingOps:
 
 def coupling_ops(model):
     """Wrap ``model`` in the coupling-operation adapter for its backend."""
+    if isinstance(model, PackedIsingModel):
+        # Local import: repro.core.packed subclasses SparseCouplingOps,
+        # so a module-level import would be circular.
+        from repro.core.packed import PackedCouplingOps
+
+        return PackedCouplingOps(model)
     if isinstance(model, SparseIsingModel):
         return SparseCouplingOps(model)
     if isinstance(model, IsingModel) or getattr(model, "J", None) is not None:

@@ -8,15 +8,17 @@ problem-domain quantities (cut values for Max-Cut).
 
 Coupling backends
 -----------------
-Every solver family accepts either coupling backend — the dense
-:class:`~repro.ising.model.IsingModel` or the CSR
-:class:`~repro.ising.sparse.SparseIsingModel` — transparently.  The
-``backend`` knob on :func:`solve_ising` / :func:`solve_maxcut` converts on
-the way in: ``"dense"`` / ``"sparse"`` force a representation, ``"auto"``
-applies the density-threshold heuristic of
+Every solver family accepts any coupling backend — the dense
+:class:`~repro.ising.model.IsingModel`, the CSR
+:class:`~repro.ising.sparse.SparseIsingModel`, or the bit-packed
+sign-only :class:`~repro.ising.packed.PackedIsingModel` — transparently.
+The ``backend`` knob on :func:`solve_ising` / :func:`solve_maxcut`
+converts on the way in: ``"dense"`` / ``"sparse"`` / ``"packed"`` force a
+representation, ``"auto"`` applies the density-threshold heuristic of
 :func:`repro.ising.sparse.recommended_backend` (sparse from
 ``SPARSE_MIN_SPINS`` spins up when the pair density is at most
-``SPARSE_DENSITY_THRESHOLD``).  For integer or dyadic-rational couplings —
+``SPARSE_DENSITY_THRESHOLD``, promoted to packed when all couplings share
+one ±magnitude).  For integer or dyadic-rational couplings —
 which includes every ±1-weighted G-set instance, where ``J = W/4`` — all
 floating-point sums are exact and fixed-seed trajectories coincide bit for
 bit across backends.  For arbitrary float couplings the backends compute
@@ -215,12 +217,13 @@ def solve_ising(
     seed:
         RNG seed.
     backend:
-        Optional coupling-backend override: ``"dense"``, ``"sparse"`` or
-        ``"auto"`` (density heuristic).  ``None`` (default) keeps the
-        model's current representation.  Choose sparse for large
-        low-density instances; fixed-seed trajectories are backend-
-        independent for exactly-representable couplings (see module
-        docstring).
+        Optional coupling-backend override: ``"dense"``, ``"sparse"``,
+        ``"packed"`` or ``"auto"`` (density heuristic with sign-only
+        promotion).  ``None`` (default) keeps the model's current
+        representation.  Choose sparse for large low-density instances
+        (packed when the couplings are sign-only); fixed-seed
+        trajectories are backend-independent for exactly-representable
+        couplings (see module docstring).
     tile_size:
         When given (and ``method="insitu"``), the solve runs on the
         hardware-instrumented tiled crossbar machine
@@ -355,7 +358,8 @@ def solve_maxcut(
     ``backend`` selects the coupling representation of the underlying
     Ising model (see :meth:`MaxCutProblem.to_ising`); the default
     ``"auto"`` builds large sparse instances — the whole G-set suite —
-    on the CSR backend.  ``tile_size`` routes the solve through the tiled
+    on the CSR backend, bit-packed when the edge weights share one
+    ±magnitude (every ±1 G-set).  ``tile_size`` routes the solve through the tiled
     crossbar machine and ``reorder`` applies a bandwidth-reducing spin
     relabelling ahead of tiling (see :func:`solve_ising`; the returned
     partition is always in the problem's original node order).

@@ -29,6 +29,7 @@ from repro.ising.knapsack import KnapsackProblem
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.mis import MaxIndependentSetProblem
 from repro.ising.model import IsingModel
+from repro.ising.packed import PackedIsingModel, dyadic_uniform_scale, packed_scale
 from repro.ising.partition import NumberPartitioningProblem
 from repro.ising.qubo import QuboModel
 from repro.ising.sparse import (
@@ -44,7 +45,10 @@ from repro.ising.tsp import TravellingSalesmanProblem
 __all__ = [
     "IsingModel",
     "SparseIsingModel",
+    "PackedIsingModel",
     "QuboModel",
+    "dyadic_uniform_scale",
+    "packed_scale",
     "as_backend",
     "dense_couplings",
     "recommended_backend",

@@ -170,25 +170,41 @@ class MaxCutProblem:
         ``backend`` picks the coupling representation: ``"dense"`` builds
         the ``(n, n)`` matrix, ``"sparse"`` a CSR
         :class:`~repro.ising.sparse.SparseIsingModel` straight from the
-        edge list (never materialising the dense matrix), and ``"auto"``
-        (default) applies the density-threshold heuristic — all G-set-scale
-        instances come out sparse.  Both backends define the identical
-        Hamiltonian.
+        edge list (never materialising the dense matrix), ``"packed"``
+        the bit-packed sign-only
+        :class:`~repro.ising.packed.PackedIsingModel` (requires uniform
+        |weight| — e.g. ±1 G-set edges, whose embedding is ``J = ±1/4``),
+        and ``"auto"`` (default) applies the density-threshold heuristic
+        with sign-only promotion — all G-set-scale ±1 instances come out
+        packed.  All backends define the identical Hamiltonian and (for
+        eligible weights) identical fixed-seed trajectories.
         """
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
             )
+        # Local import: repro.ising.packed imports this sub-package's
+        # sparse module, so a top-level import would be circular via
+        # repro.ising.__init__.
+        from repro.ising.packed import PackedIsingModel, dyadic_uniform_scale
+
         if backend == "auto":
-            backend = recommended_backend(self.num_nodes, self.num_edges)
-        if backend == "sparse":
-            return SparseIsingModel.from_edges(
+            backend = recommended_backend(
+                self.num_nodes,
+                self.num_edges,
+                uniform_signs=dyadic_uniform_scale(self._weights / 4.0) is not None,
+            )
+        if backend in ("sparse", "packed"):
+            sparse_model = SparseIsingModel.from_edges(
                 self.num_nodes,
                 self._edges[:, 0],
                 self._edges[:, 1],
                 self._weights / 4.0,
                 name=self.name,
             )
+            if backend == "packed":
+                return PackedIsingModel.from_sparse(sparse_model)
+            return sparse_model
         return IsingModel(self.adjacency() / 4.0, None, name=self.name)
 
     def partition(self, sigma) -> tuple[np.ndarray, np.ndarray]:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
+    check_index,
     check_permutation,
     check_spin_vector,
     check_square_symmetric,
@@ -124,10 +125,9 @@ class IsingModel:
             Optional precomputed local fields ``J σ`` (avoids the O(n·n)
             matrix-vector product when the caller maintains them).
         """
-        s = np.asarray(sigma)
         n = self.num_spins
-        if not 0 <= index < n:
-            raise IndexError(f"spin index {index} out of range [0, {n})")
+        s = check_spin_vector(sigma, n)
+        index = check_index("index", index, n)
         si = float(s[index])
         if g is None:
             gi = float(self._J[index] @ s.astype(np.float64))

@@ -106,22 +106,38 @@ class QuboModel:
         ``sum(Q)/4 + sum(q)/2``.
 
         ``backend`` selects the coupling representation of the returned
-        model (``"dense"``, ``"sparse"``, or the ``"auto"`` density
-        heuristic on the nonzero pattern of ``Q``).
+        model (``"dense"``, ``"sparse"``, ``"packed"`` for sign-only
+        ``Q`` entries of one magnitude, or the ``"auto"`` density
+        heuristic — with sign-only promotion — on the nonzero pattern of
+        ``Q``).
         """
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
             )
+        # Local import: repro.ising.packed imports this sub-package's
+        # sparse module, so a top-level import would be circular via
+        # repro.ising.__init__.
+        from repro.ising.packed import PackedIsingModel, dyadic_uniform_scale
+
         J = self._Q / 4.0
         rowsum = self._Q.sum(axis=1)
         h = -(rowsum + self._q) / 2.0
         const = self.offset + float(self._Q.sum()) / 4.0 + float(self._q.sum()) / 2.0
         if backend == "auto":
             pairs = int(np.count_nonzero(self._Q)) // 2  # Q is zero-diagonal
-            backend = recommended_backend(self.num_variables, pairs)
-        if backend == "sparse":
-            return SparseIsingModel.from_dense(J, h, offset=const, name=self.name)
+            backend = recommended_backend(
+                self.num_variables,
+                pairs,
+                uniform_signs=dyadic_uniform_scale(J[J != 0.0]) is not None,
+            )
+        if backend in ("sparse", "packed"):
+            sparse_model = SparseIsingModel.from_dense(
+                J, h, offset=const, name=self.name
+            )
+            if backend == "packed":
+                return PackedIsingModel.from_sparse(sparse_model)
+            return sparse_model
         return IsingModel(J, h, offset=const, name=self.name)
 
     @classmethod

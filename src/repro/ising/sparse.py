@@ -42,6 +42,7 @@ from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
     check_choice,
     check_count,
+    check_index,
     check_permutation,
     check_spin_vector,
     check_square_symmetric,
@@ -53,11 +54,13 @@ SPARSE_MIN_SPINS = 512
 #: Maximum pair density (``m`` over ``n·(n−1)/2``) for the sparse backend.
 SPARSE_DENSITY_THRESHOLD = 0.125
 
-BACKENDS = ("auto", "dense", "sparse")
+BACKENDS = ("auto", "dense", "sparse", "packed")
 
 
-def recommended_backend(num_spins: int, num_pairs: int) -> str:
-    """The density-threshold heuristic: ``"dense"`` or ``"sparse"``.
+def recommended_backend(
+    num_spins: int, num_pairs: int, uniform_signs: bool = False
+) -> str:
+    """The density-threshold heuristic: ``"dense"``, ``"sparse"`` or ``"packed"``.
 
     Parameters
     ----------
@@ -65,6 +68,13 @@ def recommended_backend(num_spins: int, num_pairs: int) -> str:
         Number of spins ``n``.
     num_pairs:
         Number of coupled (undirected) spin pairs ``m``.
+    uniform_signs:
+        True when every off-diagonal coupling shares one (small dyadic)
+        magnitude — ±1 edge weights and their scaled embeddings (see
+        :func:`repro.ising.packed.packed_scale`).  Whenever the sparse
+        heuristic wins *and* the couplings are sign-only, the bit-packed
+        backend is recommended instead: its trajectories are bit-identical
+        to sparse at a fraction of the replica state traffic.
     """
     n = int(num_spins)
     if n < SPARSE_MIN_SPINS:
@@ -72,7 +82,9 @@ def recommended_backend(num_spins: int, num_pairs: int) -> str:
     possible = n * (n - 1) / 2.0
     if possible <= 0:
         return "dense"
-    return "sparse" if num_pairs / possible <= SPARSE_DENSITY_THRESHOLD else "dense"
+    if num_pairs / possible > SPARSE_DENSITY_THRESHOLD:
+        return "dense"
+    return "packed" if (uniform_signs and num_pairs > 0) else "sparse"
 
 
 class SparseIsingModel:
@@ -371,9 +383,8 @@ class SparseIsingModel:
         Mirrors :meth:`IsingModel.delta_energy_single`; without a cached
         ``g`` the cost is O(degree) instead of O(n).
         """
-        s = np.asarray(sigma)
-        if not 0 <= index < self._n:
-            raise IndexError(f"spin index {index} out of range [0, {self._n})")
+        s = check_spin_vector(sigma, self._n)
+        index = check_index("index", index, self._n)
         si = float(s[index])
         if g is None:
             lo, hi = self._indptr[index], self._indptr[index + 1]
@@ -526,11 +537,19 @@ class SparseIsingModel:
 def as_backend(model, backend: str = "auto"):
     """Return ``model`` converted to the requested coupling backend.
 
-    ``backend`` is ``"dense"``, ``"sparse"`` or ``"auto"`` (pick by the
-    density heuristic of :func:`recommended_backend`).  Models already in
-    the requested backend are returned unchanged.
+    ``backend`` is ``"dense"``, ``"sparse"``, ``"packed"`` or ``"auto"``
+    (pick by the density heuristic of :func:`recommended_backend`, which
+    promotes sparse to packed when all couplings are sign-only).  Models
+    already in the requested backend are returned unchanged; requesting
+    ``"sparse"`` on a packed model returns the plain CSR twin (so
+    backend comparisons measure genuinely unpacked kernels).
     """
     check_choice("backend", backend, BACKENDS)
+    # Local import: the packed model subclasses SparseIsingModel, so a
+    # module-level import here would be circular.
+    from repro.ising.packed import PackedIsingModel, packed_scale
+
+    is_packed = isinstance(model, PackedIsingModel)
     is_sparse = isinstance(model, SparseIsingModel)
     if backend == "auto":
         if is_sparse:
@@ -539,8 +558,18 @@ def as_backend(model, backend: str = "auto"):
             J = model.J
             off = np.count_nonzero(J) - np.count_nonzero(np.diag(J))
             pairs = off // 2
-        backend = recommended_backend(model.num_spins, pairs)
+        backend = recommended_backend(
+            model.num_spins, pairs, uniform_signs=packed_scale(model) is not None
+        )
+    if backend == "packed":
+        if is_packed:
+            return model
+        return PackedIsingModel.from_sparse(
+            model if is_sparse else SparseIsingModel.from_ising(model)
+        )
     if backend == "sparse":
+        if is_packed:
+            return model.to_sparse()
         return model if is_sparse else SparseIsingModel.from_ising(model)
     return model.to_dense() if is_sparse else model
 

@@ -48,6 +48,34 @@ def check_count(name: str, value, minimum: int = 1, hint: str = "") -> int:
     return value
 
 
+def check_index(name: str, value, n: int) -> int:
+    """Validate a spin/array index parameter against ``[0, n)``.
+
+    Same bool/non-integer rejection as :func:`check_count` — ``True``
+    used to slip through ``0 <= index < n`` and silently flip spin 1 —
+    but with the half-open range bound of an index rather than a count's
+    minimum.  Type misuse raises ``ValueError`` (matching the other
+    ``check_*`` helpers); an integer outside ``[0, n)`` raises
+    ``IndexError`` (matching Python indexing semantics).
+    """
+    if isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be an integer index, got {value!r} (a bool would "
+            f"silently act as index {int(value)}); pass an explicit index"
+        )
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise ValueError(
+            f"{name} must be an integer index, got {value!r}"
+        ) from None
+    if not 0 <= value < n:
+        raise IndexError(f"{name} must be in [0, {n}), got {value}")
+    return value
+
+
 def check_real(name: str, value) -> float:
     """Validate a real-number parameter (reference cuts, thresholds, …).
 

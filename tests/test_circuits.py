@@ -55,6 +55,20 @@ class TestSarAdc:
         with pytest.raises(ValueError):
             SarAdc(mux_ratio=0)
 
+    def test_count_boundary_regressions(self):
+        """bits=True used to pass the range check as a 1-bit ADC and
+        bits=2.7 only crashed later at ``1 << bits``."""
+        with pytest.raises(ValueError, match="bits must be an integer"):
+            SarAdc(bits=True)
+        with pytest.raises(ValueError, match="bits must be an integer"):
+            SarAdc(bits=2.7)
+        with pytest.raises(ValueError, match="bits must be in"):
+            SarAdc(bits=25)
+        with pytest.raises(ValueError, match="mux_ratio must be an integer"):
+            SarAdc(mux_ratio=True)
+        # integral floats normalise to int (the check_count convenience)
+        assert SarAdc(bits=8.0).levels == 256
+
 
 class TestDrivers:
     def test_driver_energy_scales_with_toggles(self):
@@ -109,6 +123,15 @@ class TestExponentUnit:
     def test_rejects_positive_arguments(self):
         with pytest.raises(ValueError):
             ExponentUnit.asic().evaluate(0.5)
+
+    def test_count_boundary_regressions(self):
+        """fraction_bits=True used to quantize to 1 fractional bit and
+        2.7 only crashed later at ``1 << fraction_bits``."""
+        for bad in (True, 2.7, 0, 31):
+            with pytest.raises(ValueError, match="fraction_bits"):
+                ExponentUnit(
+                    energy_per_eval=1e-12, time_per_eval=1e-9, fraction_bits=bad
+                )
 
 
 class TestWireModel:
@@ -199,3 +222,12 @@ class TestMatrixQuantizer:
             MatrixQuantizer(0)
         with pytest.raises(ValueError):
             MatrixQuantizer(17)
+
+    def test_count_boundary_regressions(self):
+        """bits=2.7 used to silently truncate to a 2-bit quantizer and
+        bits=True to quantize to 1 bit."""
+        with pytest.raises(ValueError, match="bits must be an integer"):
+            MatrixQuantizer(bits=2.7)
+        with pytest.raises(ValueError, match="bits must be an integer"):
+            MatrixQuantizer(bits=True)
+        assert MatrixQuantizer(bits=4.0).max_level == 15

@@ -55,7 +55,7 @@ class TestCommands:
     def test_solve_method_and_backend_selection(self, instance_file, capsys):
         """Every method × backend combination solves through the CLI."""
         for method in ("insitu", "sa", "mesa", "sb"):
-            for backend in ("auto", "dense", "sparse"):
+            for backend in ("auto", "dense", "sparse", "packed"):
                 code = main(
                     ["solve", instance_file, "--iterations", "400",
                      "--method", method, "--backend", backend, "--seed", "5"]
@@ -67,6 +67,19 @@ class TestCommands:
     def test_solve_rejects_unknown_backend(self, instance_file):
         with pytest.raises(SystemExit):
             main(["solve", instance_file, "--backend", "csr"])
+
+    def test_solve_packed_backend_matches_sparse(self, instance_file, capsys):
+        """--backend packed reports the identical cut as sparse (the
+        bit-identity contract), including on the replica batch path."""
+        outputs = []
+        for backend in ("sparse", "packed"):
+            code = main(
+                ["solve", instance_file, "--iterations", "400", "--backend",
+                 backend, "--replicas", "4", "--flips", "2", "--seed", "9"]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
 
     def test_solve_on_tiled_machine(self, instance_file, capsys):
         code = main(

@@ -7,7 +7,9 @@ model.  ±1 weights make ``J = W/4`` exactly representable, so every value
 below is bit-exact and backend-independent — a future refactor that
 changes *any* of them has silently changed solver behaviour (RNG
 consumption order, acceptance rule, schedule, field caching, …) and must
-update these goldens deliberately.
+update these goldens deliberately.  The bit-packed popcount backend is
+parametrized alongside dense/sparse wherever the instance is
+packed-eligible: its trajectories must pin the identical values.
 
 Pinned with numpy 2.x / seed repo state; values are arithmetic-exact, not
 platform-float-luck, because all sums involved are dyadic rationals.
@@ -62,7 +64,7 @@ def golden_ising_model() -> IsingModel:
 
 class TestMaxCutGoldens:
     @pytest.mark.parametrize("method", sorted(GOLDEN_MAXCUT))
-    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "packed"])
     def test_pinned_best_cut(self, golden_problem, method, backend):
         cut, energy, accepted = GOLDEN_MAXCUT[method]
         result = solve_maxcut(
@@ -202,7 +204,7 @@ class TestReplicaBatchGoldens:
     }
 
     @pytest.mark.parametrize("method,flips", sorted(GOLDEN_BATCH))
-    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "packed"])
     def test_pinned_replica_batch(self, golden_problem, method, flips, backend):
         best_cut, cuts, accepted = self.GOLDEN_BATCH[(method, flips)]
         result = solve_maxcut(
@@ -245,7 +247,7 @@ class TestSbGoldens:
     )
 
     @pytest.mark.parametrize("variant", sorted(GOLDEN_SB))
-    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "packed"])
     def test_pinned_sb_run(self, golden_problem, variant, backend):
         cut, energy, accepted = self.GOLDEN_SB[variant]
         result = solve_maxcut(
@@ -261,7 +263,7 @@ class TestSbGoldens:
         assert result.anneal.accepted == accepted
         assert golden_problem.cut_value(result.anneal.best_sigma) == cut
 
-    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "packed"])
     def test_pinned_sb_replica_batch(self, golden_problem, backend):
         best_cut, cuts, accepted = self.GOLDEN_SB_BATCH
         result = solve_maxcut(

@@ -128,6 +128,50 @@ class TestFlipIdentity:
             small_model.delta_energy_single(sigma, small_model.num_spins)
 
 
+class TestDeltaEnergySingleBoundary:
+    """``index=True`` used to pass ``0 <= index < n`` and silently flip
+    spin 1, and the index path skipped ``check_spin_vector`` entirely.
+    Both backends share the regression."""
+
+    def models(self):
+        from repro.ising import SparseIsingModel
+
+        dense = IsingModel.random(8, with_fields=True, seed=5)
+        return dense, SparseIsingModel.from_dense(dense.J, dense.h)
+
+    def test_boolean_index_rejected(self):
+        for model in self.models():
+            sigma = model.random_configuration(ensure_rng(1))
+            with pytest.raises(ValueError, match="integer index"):
+                model.delta_energy_single(sigma, True)
+
+    def test_non_integer_index_rejected(self):
+        for model in self.models():
+            sigma = model.random_configuration(ensure_rng(1))
+            with pytest.raises(ValueError, match="integer index"):
+                model.delta_energy_single(sigma, 2.7)
+            with pytest.raises(ValueError, match="integer index"):
+                model.delta_energy_single(sigma, "3")
+
+    def test_integral_float_and_numpy_index_accepted(self):
+        dense, sparse = self.models()
+        sigma = dense.random_configuration(ensure_rng(1))
+        exact = dense.delta_energy_single(sigma, 2)
+        assert dense.delta_energy_single(sigma, 2.0) == exact
+        assert sparse.delta_energy_single(sigma, np.int64(2)) == pytest.approx(exact)
+
+    def test_negative_index_rejected(self):
+        for model in self.models():
+            sigma = model.random_configuration(ensure_rng(1))
+            with pytest.raises(IndexError, match=r"\[0, 8\)"):
+                model.delta_energy_single(sigma, -1)
+
+    def test_non_spin_sigma_rejected(self):
+        for model in self.models():
+            with pytest.raises(ValueError, match="±1"):
+                model.delta_energy_single(np.zeros(8), 2)
+
+
 class TestAncilla:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10_000))

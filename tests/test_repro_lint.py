@@ -272,6 +272,45 @@ class TestReshapeScatterAlias:
         })
         assert findings == []
 
+    def test_ufunc_at_through_reshape_flagged(self, tmp_path):
+        """The packed backend's XOR-word scatter shape: ufunc.at through
+        a flattening call mutates the base only when it aliases."""
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/hot.py": (
+                "import numpy as np\n"
+                "np.bitwise_xor.at(words.reshape(-1), flat, masks)\n"
+            ),
+        })
+        assert codes(findings) == ["RPL004"]
+
+    def test_ufunc_at_through_ravel_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/hot.py": (
+                "import numpy as np\n"
+                "np.add.at(g.ravel(), flat, contrib)\n"
+            ),
+        })
+        assert codes(findings) == ["RPL004"]
+
+    def test_ufunc_at_on_direct_array_ok(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/hot.py": (
+                "import numpy as np\n"
+                "np.add.at(g, idx, contrib)\n"
+            ),
+        })
+        assert findings == []
+
+    def test_ufunc_at_suppressed_with_contiguity_audit(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/hot.py": (
+                "# Aliasing audited: words is C-contiguous by construction.\n"
+                f"{DISABLE}RPL004\n"
+                "np.bitwise_xor.at(words.reshape(-1), flat, masks)\n"
+            ),
+        })
+        assert findings == []
+
 
 # ---------------------------------------------------------------- RPL005
 

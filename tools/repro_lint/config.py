@@ -27,7 +27,8 @@ DENSIFY_PATH_ALLOWLIST: tuple[str, ...] = (
 #: treats as "probably a coupling object".  A heuristic by construction:
 #: the precise bans are ``.toarray()`` and ``dense_couplings()``.
 COUPLING_NAMES: frozenset[str] = frozenset(
-    {"model", "sparse_model", "coupling", "couplings", "hw_model"}
+    {"model", "sparse_model", "packed_model", "coupling", "couplings",
+     "hw_model"}
 )
 
 #: The one module allowed to call ``np.random.default_rng`` (RPL002):

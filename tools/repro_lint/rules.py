@@ -253,19 +253,25 @@ class ReshapeScatterAliasRule(Rule):
     returns a *view*, which silently depends on ``g`` being C-contiguous
     — a fancy-indexing gather upstream (``fields[:, perm]``) returns
     F-order and turns the scatter into a write to a temporary copy.
-    Audited sites must suppress inline, stating why the operand is
-    guaranteed C-contiguous.
+    ``ufunc.at(x.reshape(-1), ...)`` (the packed backend's XOR-word
+    scatter) carries the identical trap: the ufunc mutates the view, and
+    the mutation only reaches ``x`` when the view aliases it.  Audited
+    sites must suppress inline, stating why the operand is guaranteed
+    C-contiguous.
     """
 
     code = "RPL004"
     name = "reshape-scatter-alias"
     summary = (
-        "no scatter-assignment through .reshape(-1)/.ravel() views — "
-        "aliasing silently depends on memory order"
+        "no scatter-assignment or ufunc.at through .reshape(-1)/.ravel() "
+        "views — aliasing silently depends on memory order"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_ufunc_at(ctx, node)
+                continue
             if isinstance(node, ast.Assign):
                 targets = node.targets
             elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
@@ -293,6 +299,28 @@ class ReshapeScatterAliasRule(Rule):
                         "copy; scatter into the array directly or "
                         "suppress with the contiguity argument",
                     )
+
+    def _check_ufunc_at(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
+        """Flag ``<ufunc>.at(x.reshape(-1)/x.ravel(), ...)`` scatters."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "at" and node.args):
+            return
+        first = node.args[0]
+        if not (
+            isinstance(first, ast.Call)
+            and isinstance(first.func, ast.Attribute)
+        ):
+            return
+        attr = first.func.attr
+        if attr == "ravel" or (attr == "reshape" and self._is_flatten(first.args)):
+            yield self.finding(
+                ctx, node,
+                f"ufunc.at through .{attr}() mutates the base array only "
+                "when the flattening view aliases it — an F-ordered "
+                "operand turns the scatter into a silent no-op on a "
+                "copy; scatter into the array directly or suppress "
+                "with the contiguity argument",
+            )
 
     @staticmethod
     def _is_flatten(args: list[ast.expr]) -> bool:
