@@ -47,6 +47,9 @@ __all__ = [
     "NumberPartitioningProblem",
     "solve_ising",
     "solve_maxcut",
+    "compile_plan",
+    "SolvePlan",
+    "PlanCache",
     "__version__",
 ]
 
@@ -58,4 +61,8 @@ def __getattr__(name):
         from repro.core import solver
 
         return getattr(solver, name)
+    if name in ("compile_plan", "SolvePlan", "PlanCache"):
+        from repro.core import plan
+
+        return getattr(plan, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

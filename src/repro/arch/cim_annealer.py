@@ -12,6 +12,13 @@ Wires the pieces together end-to-end:
   toggles, settle time, BG DAC updates, controller logic) is booked into a
   :class:`~repro.arch.ledger.Ledger`.
 
+The programming pass (layout race → quantize → program) is factored out as
+:func:`compile_cim_program`, which returns an immutable :class:`CimProgram`
+that any number of :class:`InSituCimAnnealer` instances can anneal against
+— the amortisation the paper's economics rest on (one expensive array
+write, many cheap anneal runs), surfaced through
+:func:`repro.core.plan.compile_plan`.
+
 The ``"behavioral"`` crossbar backend makes runs at the paper's full scale
 (3000 spins × 100 000 iterations) take seconds; the ``"device"`` backend
 evaluates every activated cell through the compact device model and is meant
@@ -19,6 +26,8 @@ for small arrays (tests, ablations, examples).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +42,6 @@ from repro.core.reorder import (
     REORDER_MODES,
     Permutation,
     graph_bandwidth,
-    reorder_permutation,
 )
 from repro.core.schedule import Schedule, VbgStepSchedule
 from repro.devices.variability import VariationModel
@@ -41,6 +49,176 @@ from repro.ising.model import IsingModel
 from repro.ising.sparse import SparseIsingModel, dense_couplings
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_choice, check_count
+
+
+@dataclass(frozen=True)
+class CimProgram:
+    """An immutable programmed-crossbar image, ready to anneal against.
+
+    Produced by :func:`compile_cim_program`; bundles everything the
+    machine derives *before* the first proposal — the quantized/programmed
+    crossbar, the internal layout permutation, the mapping report and the
+    stored-image model the controller believes in.  Pass it to
+    :class:`InSituCimAnnealer` via ``program=`` to run repeat anneals
+    without re-programming the array.
+    """
+
+    config: HardwareConfig
+    crossbar: object  # DgFefetCrossbar | TiledCrossbar
+    mapping: CrossbarMapping
+    permutation: Permutation | None
+    reorder: str
+    tile_size: int | None
+    annealer_model: IsingModel | SparseIsingModel
+    hw_model: IsingModel | SparseIsingModel
+
+
+def compile_cim_program(
+    model: IsingModel | SparseIsingModel,
+    config: HardwareConfig | None = None,
+    backend: str = "behavioral",
+    variation: VariationModel | None = None,
+    tile_size: int | None = None,
+    reorder: str | None = None,
+    permutation=None,
+    seed=None,
+) -> CimProgram:
+    """Run the machine's programming pass and return the artifacts.
+
+    This is the expensive, run-independent half of the machine: the
+    internal layout race (``reorder=``/``permutation=``), whole-matrix
+    quantization and the crossbar programming pass.  ``seed`` only draws
+    randomness when programming itself is stochastic (``variation=`` or
+    ``backend="device"``); the default behavioral/no-variation path is
+    draw-free, so the returned program is seed-independent and safe to
+    cache (see :class:`repro.core.plan.PlanCache`).
+
+    Validation messages match the historical machine constructor exactly
+    — it now delegates here.
+    """
+    if model.has_fields:
+        raise ValueError(
+            "crossbar machines store couplings only; fold fields in via "
+            "model.with_ancilla() first"
+        )
+    config = config or HardwareConfig.proposed()
+    reorder = check_choice(
+        "reorder", "none" if reorder is None else reorder, REORDER_MODES
+    )
+    if reorder in ("rcm", "partition") and tile_size is None:
+        raise ValueError(
+            f"reorder={reorder!r} optimises the tile grid and needs "
+            "tile_size=...; a monolithic crossbar programs the full "
+            "array either way (use reorder='auto' to make it a no-op)"
+        )
+    if permutation is not None:
+        if reorder != "none":
+            raise ValueError(
+                "pass either reorder= or an explicit permutation=, "
+                "not both"
+            )
+        if tile_size is None:
+            raise ValueError(
+                "an explicit permutation= layout requires tile_size=..."
+            )
+    rng = ensure_rng(seed)
+    is_sparse = isinstance(model, SparseIsingModel)
+    if tile_size is not None:
+        from repro.arch.tiling import TiledCrossbar
+        from repro.core.plan import resolve_layout
+
+        # Bandwidth-reducing relabelling of the *stored* layout: the
+        # scattered edge set is compacted onto few block diagonals so
+        # the sparse tile registry stays proportional to nnz, not to
+        # the grid.  The controller keeps working in the caller's
+        # ordering (see the annealer's `permutation` contract).
+        hw_input = model
+        perm = None
+        if permutation is not None:
+            perm = (
+                permutation if isinstance(permutation, Permutation)
+                else Permutation(permutation)
+            )
+        else:
+            perm = resolve_layout(model, reorder, tile_size=tile_size)
+        if perm is not None:
+            hw_input = model.permuted(perm)
+        # Tiles are extracted block-by-block, so a sparse model is fed
+        # straight through — the dense (n, n) matrix is never formed.
+        # (Densification allowlisted for the dense-backend branch
+        # only: the input already stores all n² couplings.)
+        crossbar = TiledCrossbar(
+            hw_input if is_sparse else dense_couplings(hw_input),  # repro-lint: disable=RPL001
+            tile_size=tile_size,
+            bits=config.quantization_bits,
+            backend=backend,
+            wire=config.wire,
+            shift_add=config.shift_add,
+            variation=variation,
+            seed=rng,
+        )
+        # Per-tile geometry — the physical array is the tile, not a
+        # monolithic n-row crossbar assembled from the full matrix.
+        if perm is None:
+            ordering, bandwidth = "identity", graph_bandwidth(model)
+        else:
+            ordering = perm.strategy
+            bandwidth = (
+                perm.bandwidth_after if perm.bandwidth_after is not None
+                else graph_bandwidth(hw_input)
+            )
+        mapping = CrossbarMapping.for_tiled(
+            crossbar, config.adc.mux_ratio,
+            ordering=ordering, bandwidth=bandwidth,
+        )
+        # The algorithmic model the controller believes in: the
+        # *stored* image, kept on the model's own coupling backend so
+        # the controller's field cache stays O(nnz) for sparse inputs.
+        # With a reordering in play the annealer runs against the
+        # hardware-ordered image while `hw_model` is published in the
+        # caller's ordering (quantization is element-wise, so the two
+        # are exact relabellings of each other).
+        if is_sparse:
+            stored = crossbar.stored_model(
+                offset=model.offset, name=model.name
+            )
+        else:
+            stored = IsingModel(
+                crossbar.matrix_hat, None,
+                offset=model.offset, name=model.name,
+            )
+        hw_model = stored if perm is None else stored.permuted(perm.inverse)
+        return CimProgram(
+            config=config, crossbar=crossbar, mapping=mapping,
+            permutation=perm, reorder=reorder, tile_size=tile_size,
+            annealer_model=stored, hw_model=hw_model,
+        )
+    # A single physical crossbar programs every cell, so the
+    # monolithic machine densifies sparse models here (solver-only
+    # paths never do).  Densification allowlisted: crossbar
+    # programming is the one consumer that needs the full image.
+    J = dense_couplings(model)  # repro-lint: disable=RPL001
+    crossbar = DgFefetCrossbar(
+        J,
+        bits=config.quantization_bits,
+        backend=backend,
+        adc=None,  # sized to the array by the crossbar itself
+        wire=config.wire,
+        shift_add=config.shift_add,
+        variation=variation,
+        seed=rng,
+    )
+    mapping = CrossbarMapping.for_matrix(
+        J, config.quantization_bits, config.adc.mux_ratio
+    )
+    hw_model = IsingModel(
+        crossbar.matrix_hat, None, offset=model.offset, name=model.name
+    )
+    return CimProgram(
+        config=config, crossbar=crossbar, mapping=mapping,
+        permutation=None, reorder=reorder, tile_size=None,
+        annealer_model=hw_model, hw_model=hw_model,
+    )
 
 
 class InSituCimAnnealer:
@@ -51,7 +229,8 @@ class InSituCimAnnealer:
     model:
         The Ising model to solve (fields should be folded in with
         :meth:`~repro.ising.IsingModel.with_ancilla` first — the crossbar
-        stores couplings only).
+        stores couplings only).  Omit it when annealing against a
+        pre-compiled ``program=``.
     config:
         Component/cost set; default :meth:`HardwareConfig.proposed`.
     flips_per_iteration / factor / schedule / acceptance_scale / proposal:
@@ -102,12 +281,20 @@ class InSituCimAnnealer:
     record_cost_trace:
         Record cumulative energy/time after every iteration (Fig 8b/9b).
     seed:
-        RNG seed.
+        RNG seed.  On the cold path one generator is shared between the
+        crossbar programming pass and the annealer (the legacy stream);
+        with ``program=`` the seed drives the annealer only.
+    program:
+        A pre-compiled :class:`CimProgram` to anneal against instead of
+        programming a crossbar here.  Mutually exclusive with ``model``
+        and every programming-time knob (``config``, ``backend``,
+        ``variation``, ``tile_size``, ``reorder``, ``permutation``) —
+        those were fixed when the program was compiled.
     """
 
     def __init__(
         self,
-        model: IsingModel,
+        model: IsingModel | None = None,
         config: HardwareConfig | None = None,
         flips_per_iteration: int = 1,
         factor: FractionalFactor | None = None,
@@ -123,128 +310,46 @@ class InSituCimAnnealer:
         record_cost_trace: bool = False,
         record_trace: bool = False,
         seed=None,
+        program: CimProgram | None = None,
     ) -> None:
-        if model.has_fields:
-            raise ValueError(
-                "crossbar machines store couplings only; fold fields in via "
-                "model.with_ancilla() first"
-            )
-        self.config = config or HardwareConfig.proposed()
-        self.factor = factor or FractionalFactor()
-        reorder = check_choice(
-            "reorder", "none" if reorder is None else reorder, REORDER_MODES
-        )
-        if reorder in ("rcm", "partition") and tile_size is None:
-            raise ValueError(
-                f"reorder={reorder!r} optimises the tile grid and needs "
-                "tile_size=...; a monolithic crossbar programs the full "
-                "array either way (use reorder='auto' to make it a no-op)"
-            )
-        if permutation is not None:
-            if reorder != "none":
+        if program is not None:
+            if model is not None or any(
+                knob is not None
+                for knob in (config, variation, tile_size, reorder, permutation)
+            ) or backend != "behavioral":
                 raise ValueError(
-                    "pass either reorder= or an explicit permutation=, "
-                    "not both"
+                    "program= already fixes the crossbar programming; pass "
+                    "model/config/backend/variation/tile_size/reorder/"
+                    "permutation to compile_cim_program() instead"
                 )
-            if tile_size is None:
-                raise ValueError(
-                    "an explicit permutation= layout requires tile_size=..."
-                )
-        self.reorder = reorder
-        self.permutation = None
-        rng = ensure_rng(seed)
-        is_sparse = isinstance(model, SparseIsingModel)
-        if tile_size is not None:
-            from repro.arch.tiling import TiledCrossbar
-
-            # Bandwidth-reducing relabelling of the *stored* layout: the
-            # scattered edge set is compacted onto few block diagonals so
-            # the sparse tile registry stays proportional to nnz, not to
-            # the grid.  The controller keeps working in the caller's
-            # ordering (see the annealer's `permutation` contract).
-            hw_input = model
-            perm = None
-            if permutation is not None:
-                perm = (
-                    permutation if isinstance(permutation, Permutation)
-                    else Permutation(permutation)
-                )
-            elif reorder != "none":
-                perm = reorder_permutation(model, reorder, tile_size=tile_size)
-            if perm is not None:
-                hw_input = model.permuted(perm)
-                self.permutation = perm
-            # Tiles are extracted block-by-block, so a sparse model is fed
-            # straight through — the dense (n, n) matrix is never formed.
-            # (Densification allowlisted for the dense-backend branch
-            # only: the input already stores all n² couplings.)
-            self.crossbar = TiledCrossbar(
-                hw_input if is_sparse else dense_couplings(hw_input),  # repro-lint: disable=RPL001
-                tile_size=tile_size,
-                bits=self.config.quantization_bits,
-                backend=backend,
-                wire=self.config.wire,
-                shift_add=self.config.shift_add,
-                variation=variation,
-                seed=rng,
-            )
-            # Per-tile geometry — the physical array is the tile, not a
-            # monolithic n-row crossbar assembled from the full matrix.
-            if perm is None:
-                ordering, bandwidth = "identity", graph_bandwidth(model)
-            else:
-                ordering = perm.strategy
-                bandwidth = (
-                    perm.bandwidth_after if perm.bandwidth_after is not None
-                    else graph_bandwidth(hw_input)
-                )
-            self.mapping = CrossbarMapping.for_tiled(
-                self.crossbar, self.config.adc.mux_ratio,
-                ordering=ordering, bandwidth=bandwidth,
-            )
-            # The algorithmic model the controller believes in: the
-            # *stored* image, kept on the model's own coupling backend so
-            # the controller's field cache stays O(nnz) for sparse inputs.
-            # With a reordering in play the annealer runs against the
-            # hardware-ordered image while `hw_model` is published in the
-            # caller's ordering (quantization is element-wise, so the two
-            # are exact relabellings of each other).
-            if is_sparse:
-                stored = self.crossbar.stored_model(
-                    offset=model.offset, name=model.name
-                )
-            else:
-                stored = IsingModel(
-                    self.crossbar.matrix_hat, None,
-                    offset=model.offset, name=model.name,
-                )
-            self._annealer_model = stored
-            self.hw_model = (
-                stored if perm is None else stored.permuted(perm.inverse)
-            )
+            rng = ensure_rng(seed)
         else:
-            # A single physical crossbar programs every cell, so the
-            # monolithic machine densifies sparse models here (solver-only
-            # paths never do).  Densification allowlisted: crossbar
-            # programming is the one consumer that needs the full image.
-            J = dense_couplings(model)  # repro-lint: disable=RPL001
-            self.crossbar = DgFefetCrossbar(
-                J,
-                bits=self.config.quantization_bits,
+            if model is None:
+                raise ValueError(
+                    "model is required unless a compiled program= is given"
+                )
+            # One generator shared by programming and annealing — the
+            # stream contract fixed-seed regressions pin.
+            rng = ensure_rng(seed)
+            program = compile_cim_program(
+                model,
+                config=config,
                 backend=backend,
-                adc=None,  # sized to the array by the crossbar itself
-                wire=self.config.wire,
-                shift_add=self.config.shift_add,
                 variation=variation,
+                tile_size=tile_size,
+                reorder=reorder,
+                permutation=permutation,
                 seed=rng,
             )
-            self.mapping = CrossbarMapping.for_matrix(
-                J, self.config.quantization_bits, self.config.adc.mux_ratio
-            )
-            self.hw_model = IsingModel(
-                self.crossbar.matrix_hat, None, offset=model.offset, name=model.name
-            )
-            self._annealer_model = self.hw_model
+        self.program = program
+        self.config = program.config
+        self.factor = factor or FractionalFactor()
+        self.reorder = program.reorder
+        self.permutation = program.permutation
+        self.crossbar = program.crossbar
+        self.mapping = program.mapping
+        self.hw_model = program.hw_model
+        self._annealer_model = program.annealer_model
         encoder = None
         if use_encoder:
             encoder = VbgEncoder(self.factor, transfer=self.crossbar.factor)
@@ -359,6 +464,10 @@ class InSituCimAnnealer:
         )
         self._ledger = Ledger()
         self._last_vbg = None
+        # Shared-program machines reuse one crossbar across runs; clear
+        # the driver-toggle memory so every run books costs like a cold
+        # array (trajectories never depended on it).
+        self.crossbar.reset_drive_state()
         self._iter_energy = [] if self.record_cost_trace else None
         self._iter_time = [] if self.record_cost_trace else None
         # One-time programming cost, amortised across the run.

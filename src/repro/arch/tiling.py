@@ -252,6 +252,17 @@ class TiledCrossbar:
         """Shared-rail factor (all tiles see the same back-gate voltage)."""
         return self._ref.factor(v_bg)
 
+    def reset_drive_state(self) -> None:
+        """Park every tile's FG/DL lines (fresh-run toggle accounting).
+
+        Mirrors :meth:`DgFefetCrossbar.reset_drive_state` across the
+        grid so repeat anneals on one programmed plan bill their first
+        activation like a cold machine.
+        """
+        for tile in self._tiles.values():
+            tile.reset_drive_state()
+        self._ref.reset_drive_state()
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

@@ -376,6 +376,17 @@ class DgFefetCrossbar:
             settle_time=phases * self.wire.settle_time(self.n),
         )
 
+    def reset_drive_state(self) -> None:
+        """Forget the driver-toggle memory (fresh-run line state).
+
+        A shared programmed array serves many anneal runs; each run
+        starts with every FG/DL line parked, so the first activation must
+        be billed as toggling from scratch rather than diffed against the
+        previous run's final line state.
+        """
+        self._last_fg = None
+        self._last_dl = None
+
     # ------------------------------------------------------------------
     # Programming cost
     # ------------------------------------------------------------------

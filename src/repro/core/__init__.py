@@ -11,6 +11,8 @@
 * :mod:`repro.core.annealer` — Algorithm 1 (in-situ annealing flow);
 * :mod:`repro.core.sa` / :mod:`repro.core.mesa` — the baselines' algorithms;
 * :mod:`repro.core.sb` — ballistic/discrete simulated bifurcation;
+* :mod:`repro.core.plan` — compile/execute split (``SolvePlan``,
+  ``PlanCache``): setup once, anneal many times;
 * :mod:`repro.core.solver` — one-call high-level API.
 """
 
@@ -49,6 +51,12 @@ from repro.core.partition import (
     Partitioning,
     partition_model,
     partition_permutation,
+)
+from repro.core.plan import (
+    SOLVE_METHODS,
+    PlanCache,
+    SolvePlan,
+    compile_plan,
 )
 from repro.core.reorder import (
     REORDER_MODES,
@@ -122,4 +130,8 @@ __all__ = [
     "num_product_terms",
     "solve_ising",
     "solve_maxcut",
+    "SOLVE_METHODS",
+    "SolvePlan",
+    "PlanCache",
+    "compile_plan",
 ]

@@ -1,0 +1,618 @@
+"""Compile/execute split: reusable solve plans and a fingerprint-keyed cache.
+
+The in-situ annealer's economics — one expensive crossbar programming pass
+amortised over many cheap anneal runs — used to be invisible in the API:
+every ``solve_ising`` call re-derived the coupling backend, re-ran the
+reorder/partition layout race, re-folded fields through the ancilla spin,
+and re-quantized/re-programmed the tile grid.  This module makes the
+split explicit:
+
+* :func:`compile_plan` runs all of the setup once and returns an
+  immutable :class:`SolvePlan` — the resolved backend model, the
+  ancilla-folded work model, the layout
+  :class:`~repro.core.reorder.Permutation`, and (on the tiled paths) the
+  programmed :class:`~repro.arch.tiling.TiledCrossbar` with its
+  quantized stored image;
+* :meth:`SolvePlan.execute` runs one anneal against the compiled
+  artifacts — cheap, repeatable, and bit-identical to a from-scratch
+  ``solve_ising`` call for exactly-representable (dyadic) couplings;
+* :class:`PlanCache` is an LRU over compiled plans keyed by a content
+  fingerprint of the couplings plus the solve knobs, so repeat instances
+  skip the layout race, quantization and tile programming entirely.
+
+``solve_ising``/``solve_maxcut`` are thin wrappers over this module, and
+this module is the *single owner* of the solve-setup primitives
+(``with_ancilla`` fold/strip and the ``reorder_permutation`` layout
+race) — repro-lint rule RPL007 bans calling them from any other library
+module, because three divergent copies of this logic is exactly the bug
+class the compile/execute split removed.
+
+Randomness contract
+-------------------
+Compilation is deterministic on the default path (behavioral crossbar
+backend, no variation model): programming draws no randomness, so a plan
+compiled once and executed with fresh seeds is bit-identical to cold
+solves with those seeds.  With ``variation=`` or the device crossbar
+backend the programming pass *does* consume the stream; ``solve_ising``
+threads one generator through both phases to reproduce the legacy
+shared-stream trajectories exactly, while a cached plan freezes its
+programming draw — re-executing reuses the same programmed array, as
+real hardware would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.annealer import InSituAnnealer
+from repro.core.batch import (
+    BatchAnnealResult,
+    BatchDirectEAnnealer,
+    BatchInSituAnnealer,
+)
+from repro.core.mesa import MesaAnnealer
+from repro.core.reorder import REORDER_MODES, Permutation, reorder_permutation
+from repro.core.results import AnnealResult
+from repro.core.sa import DirectEAnnealer
+from repro.ising.model import IsingModel
+from repro.ising.packed import PackedIsingModel
+from repro.ising.sparse import SparseIsingModel, as_backend
+from repro.utils.validation import check_choice, check_count
+
+_SOLVERS = {
+    "insitu": InSituAnnealer,
+    "sa": DirectEAnnealer,
+    "mesa": MesaAnnealer,
+}
+
+_BATCH_SOLVERS = {
+    "insitu": BatchInSituAnnealer,
+    "sa": BatchDirectEAnnealer,
+}
+
+#: Every accepted ``method=`` spelling: the sequential flip solvers plus
+#: the simulated-bifurcation family (dispatched through repro.core.sb,
+#: which serves both the single-run and the replica-batch shape).
+SOLVE_METHODS = tuple(sorted([*_SOLVERS, "sb"]))
+
+
+def _check_solve_args(model, method: str, iterations) -> int:
+    """Boundary validation shared by the solve entry points.
+
+    Returns the validated iteration count.  Raises ``ValueError`` with an
+    actionable message for unknown methods, non-positive / boolean
+    iteration budgets and empty models — the failure modes that previously
+    surfaced as opaque errors (or, for ``iterations=True``, a silent
+    1-iteration run) deep inside the annealer loops.
+    """
+    check_choice("method", method, SOLVE_METHODS)
+    iterations = check_count(
+        "iterations", iterations,
+        hint="the annealers need at least one proposal/accept step",
+    )
+    _check_model(model)
+    return iterations
+
+
+def _check_model(model) -> None:
+    num_spins = getattr(model, "num_spins", None)
+    if num_spins is None:
+        raise ValueError(
+            f"model must be an IsingModel or SparseIsingModel, got "
+            f"{type(model).__name__}"
+        )
+    if num_spins < 1:
+        raise ValueError(
+            "model has no spins; build it from a non-empty problem"
+        )
+
+
+def _strip_ancilla(result: AnnealResult) -> AnnealResult:
+    """Undo the ancilla fold: pin spin 0 to +1 and drop it.
+
+    A global flip leaves a couplings-only energy invariant, so flipping a
+    configuration whose ancilla landed on −1 changes nothing but restores
+    the ``σ_0 = +1`` convention the fold encodes fields under.
+    """
+    from dataclasses import replace
+
+    sigma = result.sigma if result.sigma[0] == 1 else -result.sigma
+    best = result.best_sigma if result.best_sigma[0] == 1 else -result.best_sigma
+    return replace(result, sigma=sigma[1:], best_sigma=best[1:])
+
+
+def _strip_ancilla_batch(result: BatchAnnealResult) -> BatchAnnealResult:
+    """Per-replica ancilla strip for the batch result shape."""
+    from dataclasses import replace
+
+    def pin(sigmas):
+        # Multiplying each row by its own ancilla sign pins σ_0 = +1
+        # (energies are global-flip invariant for couplings-only models).
+        return (sigmas * sigmas[:, :1])[:, 1:]
+
+    return replace(
+        result,
+        best_sigmas=pin(result.best_sigmas),
+        final_sigmas=pin(result.final_sigmas),
+    )
+
+
+def fold_fields(model):
+    """Ancilla fold for the crossbar paths: ``(work_model, folded)``.
+
+    Crossbar machines store couplings only, so a fielded model is folded
+    through an ancilla spin on the way in (``σ_0`` pinned to +1); the
+    matching strip happens in :meth:`SolvePlan.execute`.
+    """
+    if model.has_fields:
+        return model.with_ancilla(), True
+    return model, False
+
+
+def resolve_layout(model, reorder, tile_size=None):
+    """Run the layout race for a validated ``reorder`` mode.
+
+    The single call site of :func:`~repro.core.reorder.reorder_permutation`
+    in the library (RPL007): ``"none"``/``None`` short-circuits to no
+    permutation, everything else delegates — ``"auto"`` races RCM against
+    the min-cut partition by exact active-tile count when ``tile_size`` is
+    given and may still return ``None`` when nothing strictly improves on
+    the identity layout.
+    """
+    if reorder is None or reorder == "none":
+        return None
+    return reorder_permutation(model, reorder, tile_size=tile_size)
+
+
+def _backend_name(model) -> str:
+    """The coupling-backend spelling of a model's concrete class."""
+    if isinstance(model, PackedIsingModel):
+        return "packed"
+    if isinstance(model, SparseIsingModel):
+        return "sparse"
+    return "dense"
+
+
+def _freeze(value):
+    """A deterministic, hashable image of a solve-knob value.
+
+    Plain scalars/strings pass through; containers freeze recursively;
+    numpy arrays hash by content.  Arbitrary objects (factors, schedules,
+    variation models) key by ``repr`` — dataclass-style reprs are
+    content-stable, while a default object repr keys by identity, which
+    can only cause a spurious cache *miss*, never a wrong hit.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(
+            np.ascontiguousarray(value).tobytes()
+        ).hexdigest()
+        return ("ndarray", value.shape, str(value.dtype), digest)
+    if isinstance(value, Permutation):
+        return _freeze(np.asarray(value.forward))
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return (type(value).__name__, value)
+    return ("repr", type(value).__name__, repr(value))
+
+
+def _plan_fingerprint(
+    model, method, backend, tile_size, reorder, replicas, solver_kwargs
+) -> str:
+    """Cache key: coupling content digest + every compile-relevant knob.
+
+    The seed is deliberately *not* part of the key — on the default
+    (draw-free) programming path a compiled plan is seed-independent, and
+    re-executing a cached plan under fresh seeds is the whole point.
+    """
+    h = hashlib.sha256()
+    h.update(model.content_fingerprint().encode())
+    knobs = (
+        method,
+        backend,
+        tile_size,
+        "none" if reorder is None else reorder,
+        replicas,
+        _freeze(solver_kwargs),
+    )
+    h.update(repr(knobs).encode())
+    return h.hexdigest()
+
+
+#: Solver kwargs consumed at compile time on the tiled in-situ path: they
+#: configure the crossbar programming pass, not the per-run annealer.
+#: ``crossbar_backend`` is renamed on the way in because ``solve_ising``'s
+#: own ``backend`` kwarg names the *coupling* backend.
+_PROGRAM_KWARGS = ("config", "variation", "permutation")
+
+
+class SolvePlan:
+    """An immutable compiled solve: setup artifacts plus an execute hook.
+
+    Produced by :func:`compile_plan`; treat every attribute as read-only.
+    ``execute`` may be called any number of times — each call runs a
+    fresh anneal (new RNG stream, fresh ledger on the machine paths)
+    against the shared compiled artifacts.
+
+    Attributes
+    ----------
+    model:
+        The backend-resolved model in the caller's spin order.
+    work:
+        The model the hardware actually stores: ancilla-folded when the
+        input carried external fields (``folded`` is then True).
+    permutation:
+        The internal layout :class:`~repro.core.reorder.Permutation`, or
+        ``None`` for the identity layout.
+    run_kwargs:
+        Engine keyword arguments replayed on every execute.
+    fingerprint:
+        The cache key :class:`PlanCache` files this plan under.
+    """
+
+    __slots__ = (
+        "method", "model", "work", "folded", "requested_backend",
+        "resolved_backend", "tile_size", "reorder", "permutation",
+        "replicas", "run_kwargs", "fingerprint",
+        "_kind", "_engine_model", "_program", "_crossbar",
+    )
+
+    def __init__(
+        self, *, method, model, work, folded, requested_backend,
+        resolved_backend, tile_size, reorder, permutation, replicas,
+        run_kwargs, fingerprint, kind, engine_model, program=None,
+        crossbar=None,
+    ) -> None:
+        self.method = method
+        self.model = model
+        self.work = work
+        self.folded = folded
+        self.requested_backend = requested_backend
+        self.resolved_backend = resolved_backend
+        self.tile_size = tile_size
+        self.reorder = reorder
+        self.permutation = permutation
+        self.replicas = replicas
+        self.run_kwargs = run_kwargs
+        self.fingerprint = fingerprint
+        self._kind = kind
+        self._engine_model = engine_model
+        self._program = program
+        self._crossbar = crossbar
+
+    def __repr__(self) -> str:  # compact: artifacts are heavyweight
+        return (
+            f"SolvePlan(method={self.method!r}, "
+            f"backend={self.resolved_backend!r}, n={self.model.num_spins}, "
+            f"kind={self._kind!r}, fingerprint={self.fingerprint[:12]!r})"
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, iterations, seed=None) -> AnnealResult | BatchAnnealResult:
+        """Run one anneal against the compiled artifacts.
+
+        Parameters
+        ----------
+        iterations:
+            Annealing iterations (validated here, like ``solve_ising``).
+        seed:
+            RNG seed (or Generator) for this run's proposal/accept
+            stream.  Executes are independent: two executes with the
+            same seed return bit-identical results on the default
+            (draw-free programming) path.
+        """
+        iterations = check_count(
+            "iterations", iterations,
+            hint="the annealers need at least one proposal/accept step",
+        )
+        if self._kind == "tiled-insitu":
+            # Local import: repro.arch layers on top of repro.core.
+            from repro.arch.cim_annealer import InSituCimAnnealer
+
+            machine = InSituCimAnnealer(
+                program=self._program, seed=seed, **self.run_kwargs
+            )
+            result = machine.run(iterations).anneal
+            return _strip_ancilla(result) if self.folded else result
+        if self._kind == "tiled-sb":
+            from repro.core.sb import solve_sb
+
+            result = solve_sb(
+                self._engine_model, iterations, seed=seed,
+                replicas=self.replicas, permutation=self.permutation,
+                matvec=self._crossbar.batch_matvec, **self.run_kwargs
+            )
+            if self.folded:
+                result = (
+                    _strip_ancilla(result)
+                    if self.replicas is None
+                    else _strip_ancilla_batch(result)
+                )
+            return result
+        if self.method == "sb":
+            from repro.core.sb import solve_sb
+
+            return solve_sb(
+                self._engine_model, iterations, seed=seed,
+                replicas=self.replicas, **self.run_kwargs
+            )
+        if self.replicas is not None:
+            engine = _BATCH_SOLVERS[self.method](
+                self._engine_model, replicas=self.replicas, seed=seed,
+                **self.run_kwargs
+            )
+            return engine.run(iterations)
+        solver = _SOLVERS[self.method](
+            self._engine_model, seed=seed, **self.run_kwargs
+        )
+        return solver.run(iterations)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Provenance of the compiled plan, resolved knobs included.
+
+        Reports the backend that *actually* ran (``solve_ising`` defaults
+        ``backend=None`` — keep the caller's representation — while
+        ``solve_maxcut`` defaults ``"auto"``; this is where the
+        resolution becomes visible), the layout the race picked, and the
+        tiled-grid geometry when a crossbar was programmed.
+        """
+        info = {
+            "method": self.method,
+            "backend": self.resolved_backend,
+            "num_spins": self.model.num_spins,
+            "folded_fields": self.folded,
+            "reorder": self.reorder,
+            "ordering": (
+                self.permutation.strategy
+                if self.permutation is not None else "identity"
+            ),
+            "tile_size": self.tile_size,
+            "replicas": self.replicas,
+            "fingerprint": self.fingerprint[:12],
+        }
+        if self._crossbar is not None:
+            info["tiles"] = self._crossbar.num_tiles
+            info["grid_tiles"] = self._crossbar.grid_tiles
+            info["bits"] = self._crossbar.bits
+        return info
+
+
+def compile_plan(
+    model: IsingModel | SparseIsingModel,
+    method: str = "insitu",
+    backend: str | None = None,
+    tile_size: int | None = None,
+    reorder: str | None = None,
+    replicas: int | None = None,
+    seed=None,
+    **solver_kwargs,
+) -> SolvePlan:
+    """Compile a model + solve knobs into a reusable :class:`SolvePlan`.
+
+    Performs every expensive, run-independent piece of a solve — coupling
+    backend promotion, the reorder/partition layout race, the ancilla
+    fold, quantization and tile programming — and returns the artifacts
+    bundled with an :meth:`~SolvePlan.execute` hook.  Knobs and
+    validation messages match :func:`~repro.core.solver.solve_ising`
+    exactly (it is now a thin wrapper over this function); ``seed`` only
+    matters here when crossbar programming itself draws randomness
+    (``variation=`` or ``crossbar_backend="device"``).
+    """
+    check_choice("method", method, SOLVE_METHODS)
+    _check_model(model)
+    reorder = check_choice(
+        "reorder", "none" if reorder is None else reorder, REORDER_MODES
+    )
+    if reorder != "none" and "permutation" in solver_kwargs:
+        raise ValueError(
+            "pass either reorder= or an explicit permutation=, not both"
+        )
+    fingerprint = _plan_fingerprint(
+        model, method, backend, tile_size, reorder, replicas, solver_kwargs
+    )
+    requested_backend = backend
+    if backend is not None:
+        model = as_backend(model, backend)
+    if replicas is not None:
+        # Validated here at the boundary — a bool or non-integer count
+        # used to slip past solve_ising into the engine constructors.
+        replicas = check_count(
+            "replicas", replicas,
+            hint="each replica is one independent trajectory",
+        )
+        if method != "sb" and method not in _BATCH_SOLVERS:
+            raise ValueError(
+                f"replicas only applies to methods "
+                f"{sorted([*_BATCH_SOLVERS, 'sb'])}, got method={method!r} "
+                f"(MESA has no batch engine)"
+            )
+        if tile_size is not None and method != "sb":
+            raise ValueError(
+                "replicas cannot be combined with tile_size; the tiled "
+                "crossbar machine runs one replica per programmed array "
+                "(method='sb' time-multiplexes replicas over the grid)"
+            )
+    if tile_size is not None:
+        tile_size = check_count(
+            "tile_size", tile_size, minimum=2,
+            hint="a physical tile needs at least 2 rows",
+        )
+        if method not in ("insitu", "sb"):
+            raise ValueError(
+                f"tile_size is a crossbar-machine knob and only applies to "
+                f"method='insitu' or method='sb', got method={method!r}"
+            )
+    elif reorder == "partition":
+        # Solve-boundary check (this used to fail deep inside the layout
+        # race): the partition layout is defined by the tile grid.
+        raise ValueError(
+            "reorder='partition' sizes its min-cut blocks to the tile "
+            "grid and needs tile_size=...; pass both knobs together "
+            "(or use reorder='rcm'/'auto' for an untiled solve)"
+        )
+    resolved_backend = _backend_name(model)
+
+    if tile_size is not None and method == "insitu":
+        work, folded = fold_fields(model)
+        run_kwargs = dict(solver_kwargs)
+        program_kwargs = {}
+        if "crossbar_backend" in run_kwargs:
+            program_kwargs["backend"] = run_kwargs.pop("crossbar_backend")
+        for key in _PROGRAM_KWARGS:
+            if key in run_kwargs:
+                program_kwargs[key] = run_kwargs.pop(key)
+        # Local import: repro.arch layers on top of repro.core.
+        from repro.arch.cim_annealer import compile_cim_program
+
+        program = compile_cim_program(
+            work, tile_size=tile_size, reorder=reorder, seed=seed,
+            **program_kwargs
+        )
+        return SolvePlan(
+            method=method, model=model, work=work, folded=folded,
+            requested_backend=requested_backend,
+            resolved_backend=resolved_backend, tile_size=tile_size,
+            reorder=reorder, permutation=program.permutation,
+            replicas=replicas, run_kwargs=run_kwargs,
+            fingerprint=fingerprint, kind="tiled-insitu",
+            engine_model=program.annealer_model, program=program,
+            crossbar=program.crossbar,
+        )
+
+    if tile_size is not None:  # method == "sb"
+        # Local import: repro.arch layers on top of repro.core.
+        from repro.arch.tiling import TiledCrossbar
+
+        work, folded = fold_fields(model)
+        perm = resolve_layout(work, reorder, tile_size=tile_size)
+        hw = work.permuted(perm) if perm is not None else work
+        matrix = hw if isinstance(hw, SparseIsingModel) else hw.J
+        crossbar = TiledCrossbar(matrix, tile_size=tile_size)
+        stored = crossbar.stored_model(
+            offset=hw.offset, name=f"{hw.name}@tiled"
+        )
+        return SolvePlan(
+            method=method, model=model, work=work, folded=folded,
+            requested_backend=requested_backend,
+            resolved_backend=resolved_backend, tile_size=tile_size,
+            reorder=reorder, permutation=perm, replicas=replicas,
+            run_kwargs=dict(solver_kwargs), fingerprint=fingerprint,
+            kind="tiled-sb", engine_model=stored, crossbar=crossbar,
+        )
+
+    perm = resolve_layout(model, reorder)
+    run_kwargs = dict(solver_kwargs)
+    engine_model = model
+    if perm is not None:
+        # model.permuted(perm) must always travel with permutation=perm
+        # so proposals/results stay in the caller's spin space; shared
+        # by the replica-batch and sequential execute dispatches.
+        engine_model = model.permuted(perm)
+        run_kwargs["permutation"] = perm
+    return SolvePlan(
+        method=method, model=model, work=model, folded=False,
+        requested_backend=requested_backend,
+        resolved_backend=resolved_backend, tile_size=None,
+        reorder=reorder, permutation=perm, replicas=replicas,
+        run_kwargs=run_kwargs, fingerprint=fingerprint, kind="software",
+        engine_model=engine_model,
+    )
+
+
+class PlanCache:
+    """LRU cache of compiled :class:`SolvePlan` artifacts.
+
+    Keyed by :meth:`content fingerprint
+    <repro.ising.sparse.SparseIsingModel.content_fingerprint>` of the
+    coupling data plus every compile-relevant solve knob — any coupling
+    edit or knob change is a miss, a byte-identical repeat instance is a
+    hit that skips the layout race, quantization and tile programming.
+    This is the mechanism a serving layer needs to autotune per cache
+    miss and reuse per hit.
+
+    The seed is not part of the key (see :func:`compile_plan`'s
+    randomness contract); plans whose programming pass drew randomness
+    are reused as-programmed, like the physical array they model.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        self.maxsize = check_count(
+            "maxsize", maxsize, hint="an LRU cache needs at least one slot"
+        )
+        self._plans: OrderedDict[str, SolvePlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._plans
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._plans.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._plans),
+            "maxsize": self.maxsize,
+        }
+
+    def get_or_compile(
+        self,
+        model,
+        method: str = "insitu",
+        backend: str | None = None,
+        tile_size: int | None = None,
+        reorder: str | None = None,
+        replicas: int | None = None,
+        seed=None,
+        **solver_kwargs,
+    ) -> SolvePlan:
+        """Return the cached plan for this instance+knobs, compiling on miss.
+
+        Arguments mirror :func:`compile_plan`.  On a hit the stored plan
+        is returned untouched (and refreshed in LRU order); ``seed`` is
+        only consulted when a miss triggers compilation.
+        """
+        key = _plan_fingerprint(
+            model, method, backend, tile_size, reorder, replicas,
+            solver_kwargs,
+        )
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.misses += 1
+        plan = compile_plan(
+            model, method=method, backend=backend, tile_size=tile_size,
+            reorder=reorder, replicas=replicas, seed=seed, **solver_kwargs
+        )
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+
+__all__ = [
+    "SOLVE_METHODS",
+    "SolvePlan",
+    "PlanCache",
+    "compile_plan",
+    "fold_fields",
+    "resolve_layout",
+]

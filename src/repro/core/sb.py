@@ -289,7 +289,11 @@ def solve_sb(
     ``replicas=None`` runs a single trajectory and returns an
     :class:`~repro.core.results.AnnealResult`; an integer returns the
     per-replica :class:`~repro.core.batch.BatchAnnealResult`.  This is
-    the dispatch target of ``solve_ising(method="sb")``.
+    the dispatch target of ``solve_ising(method="sb")`` — via
+    :meth:`repro.core.plan.SolvePlan.execute`, which replays this call
+    per run against a pre-compiled model/layout (and, on the tiled path,
+    a pre-programmed crossbar's ``batch_matvec``); everything here is
+    run-time work, so it is safe to invoke repeatedly on one plan.
     """
     engine = SbEngine(
         model,

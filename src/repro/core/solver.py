@@ -1,10 +1,19 @@
 """High-level solve API: one call from problem to solution.
 
-These wrappers pick reasonable defaults for the three solver families
-(in-situ fractional, direct-E SA, MESA), validate their inputs at the
-boundary (so misuse fails with an actionable message instead of deep inside
-an annealer loop), run them, and translate energies back into
-problem-domain quantities (cut values for Max-Cut).
+These wrappers pick reasonable defaults for the solver families
+(in-situ fractional, direct-E SA, MESA, simulated bifurcation), validate
+their inputs at the boundary (so misuse fails with an actionable message
+instead of deep inside an annealer loop), run them, and translate
+energies back into problem-domain quantities (cut values for Max-Cut).
+
+Since the compile/execute split, each call is literally
+``compile_plan(...)`` + ``plan.execute(...)`` from
+:mod:`repro.core.plan` — every expensive setup step (backend promotion,
+the reorder/partition layout race, ancilla fold, quantization, tile
+programming) lives in the plan compiler, and callers who solve one
+instance repeatedly should hold the :class:`~repro.core.plan.SolvePlan`
+(or a :class:`~repro.core.plan.PlanCache`) and re-execute it instead of
+paying compilation per call.
 
 Coupling backends
 -----------------
@@ -30,162 +39,18 @@ for such models.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.core.annealer import InSituAnnealer
-from repro.core.batch import (
-    BatchAnnealResult,
-    BatchDirectEAnnealer,
-    BatchInSituAnnealer,
-    BatchMaxCutResult,
+from repro.core.batch import BatchAnnealResult, BatchMaxCutResult
+from repro.core.plan import (  # noqa: F401  (re-exported: historical home)
+    SOLVE_METHODS,
+    _check_solve_args,
+    compile_plan,
 )
-from repro.core.mesa import MesaAnnealer
-from repro.core.reorder import REORDER_MODES, reorder_permutation
 from repro.core.results import AnnealResult, MaxCutResult
-from repro.core.sa import DirectEAnnealer
 from repro.ising.maxcut import MaxCutProblem
 from repro.ising.model import IsingModel
-from repro.ising.sparse import SparseIsingModel, as_backend
-from repro.utils.validation import check_choice, check_count, check_real
-
-_SOLVERS = {
-    "insitu": InSituAnnealer,
-    "sa": DirectEAnnealer,
-    "mesa": MesaAnnealer,
-}
-
-_BATCH_SOLVERS = {
-    "insitu": BatchInSituAnnealer,
-    "sa": BatchDirectEAnnealer,
-}
-
-#: Every accepted ``method=`` spelling: the sequential flip solvers plus
-#: the simulated-bifurcation family (dispatched through repro.core.sb,
-#: which serves both the single-run and the replica-batch shape).
-SOLVE_METHODS = tuple(sorted([*_SOLVERS, "sb"]))
-
-
-def _check_solve_args(model, method: str, iterations) -> int:
-    """Boundary validation shared by the solve entry points.
-
-    Returns the validated iteration count.  Raises ``ValueError`` with an
-    actionable message for unknown methods, non-positive / boolean
-    iteration budgets and empty models — the failure modes that previously
-    surfaced as opaque errors (or, for ``iterations=True``, a silent
-    1-iteration run) deep inside the annealer loops.
-    """
-    check_choice("method", method, SOLVE_METHODS)
-    iterations = check_count(
-        "iterations", iterations,
-        hint="the annealers need at least one proposal/accept step",
-    )
-    num_spins = getattr(model, "num_spins", None)
-    if num_spins is None:
-        raise ValueError(
-            f"model must be an IsingModel or SparseIsingModel, got "
-            f"{type(model).__name__}"
-        )
-    if num_spins < 1:
-        raise ValueError(
-            "model has no spins; build it from a non-empty problem"
-        )
-    return iterations
-
-
-def _strip_ancilla(result: AnnealResult) -> AnnealResult:
-    """Undo the ancilla fold: pin spin 0 to +1 and drop it.
-
-    A global flip leaves a couplings-only energy invariant, so flipping a
-    configuration whose ancilla landed on −1 changes nothing but restores
-    the ``σ_0 = +1`` convention the fold encodes fields under.
-    """
-    sigma = result.sigma if result.sigma[0] == 1 else -result.sigma
-    best = result.best_sigma if result.best_sigma[0] == 1 else -result.best_sigma
-    return replace(result, sigma=sigma[1:], best_sigma=best[1:])
-
-
-def _strip_ancilla_batch(result: BatchAnnealResult) -> BatchAnnealResult:
-    """Per-replica ancilla strip for the batch result shape."""
-
-    def pin(sigmas):
-        # Multiplying each row by its own ancilla sign pins σ_0 = +1
-        # (energies are global-flip invariant for couplings-only models).
-        return (sigmas * sigmas[:, :1])[:, 1:]
-
-    return replace(
-        result,
-        best_sigmas=pin(result.best_sigmas),
-        final_sigmas=pin(result.final_sigmas),
-    )
-
-
-def _solve_tiled(
-    model, iterations, seed, tile_size, reorder, solver_kwargs
-) -> AnnealResult:
-    """Route a solve through the tiled in-situ CiM machine.
-
-    The crossbar machines store couplings only, so a model with fields is
-    folded through an ancilla spin on the way in and the ancilla is
-    stripped from the returned configurations.
-
-    ``solve_ising``'s own ``backend`` kwarg names the *coupling* backend,
-    so the machine's crossbar simulation backend travels under
-    ``crossbar_backend`` in ``solver_kwargs`` (``"behavioral"`` default,
-    ``"device"`` for the compact-model evaluation).
-    """
-    # Local import: repro.arch layers on top of repro.core.
-    from repro.arch.cim_annealer import InSituCimAnnealer
-
-    if "crossbar_backend" in solver_kwargs:
-        solver_kwargs = dict(solver_kwargs)
-        solver_kwargs["backend"] = solver_kwargs.pop("crossbar_backend")
-    work = model.with_ancilla() if model.has_fields else model
-    machine = InSituCimAnnealer(
-        work, tile_size=tile_size, reorder=reorder, seed=seed, **solver_kwargs
-    )
-    result = machine.run(iterations).anneal
-    if work is not model:
-        result = _strip_ancilla(result)
-    return result
-
-
-def _solve_sb_tiled(
-    model, iterations, seed, tile_size, reorder, replicas, solver_kwargs
-) -> AnnealResult | BatchAnnealResult:
-    """Route an SB solve through the tiled crossbar's behavioral MVM.
-
-    The coupling matrix is sharded over the tile grid exactly as the
-    in-situ machine does (couplings only — fields fold through an
-    ancilla spin; optional reordering ahead of tiling), and the SB inner
-    loop's matvec is served by
-    :meth:`~repro.arch.tiling.TiledCrossbar.batch_matvec` — the
-    digitally-combined partial products of the programmed tiles.
-    Energies are those of the *stored* (k-bit-quantized) image, exact
-    for dyadic couplings, matching the in-situ tiled convention.
-    """
-    # Local import: repro.arch layers on top of repro.core.
-    from repro.arch.tiling import TiledCrossbar
-    from repro.core.sb import solve_sb
-
-    work = model.with_ancilla() if model.has_fields else model
-    perm = None
-    if reorder != "none":
-        perm = reorder_permutation(work, reorder, tile_size=tile_size)
-    hw = work.permuted(perm) if perm is not None else work
-    matrix = hw if isinstance(hw, SparseIsingModel) else hw.J
-    crossbar = TiledCrossbar(matrix, tile_size=tile_size)
-    stored = crossbar.stored_model(offset=hw.offset, name=f"{hw.name}@tiled")
-    result = solve_sb(
-        stored, iterations, seed=seed, replicas=replicas, permutation=perm,
-        matvec=crossbar.batch_matvec, **solver_kwargs
-    )
-    if work is not model:
-        result = (
-            _strip_ancilla(result)
-            if replicas is None
-            else _strip_ancilla_batch(result)
-        )
-    return result
+from repro.ising.sparse import SparseIsingModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_real
 
 
 def solve_ising(
@@ -201,6 +66,14 @@ def solve_ising(
 ) -> AnnealResult | BatchAnnealResult:
     """Minimise an Ising model with the selected annealer.
 
+    A thin wrapper over the compile/execute split: the call compiles a
+    :class:`~repro.core.plan.SolvePlan` and executes it once.  To solve
+    the same instance many times, call
+    :func:`~repro.core.plan.compile_plan` yourself (or go through a
+    :class:`~repro.core.plan.PlanCache`) and re-execute the plan — the
+    results are bit-identical to repeated ``solve_ising`` calls for
+    exactly-representable couplings, without re-paying setup.
+
     Parameters
     ----------
     model:
@@ -215,15 +88,25 @@ def solve_ising(
         Annealing iterations (must be >= 1; validated here so the error is
         raised at the API boundary).
     seed:
-        RNG seed.
+        RNG seed.  One generator is threaded through plan compilation
+        (crossbar programming, when it draws at all) and execution, so a
+        fixed seed reproduces the historical single-phase trajectories
+        exactly.
     backend:
         Optional coupling-backend override: ``"dense"``, ``"sparse"``,
         ``"packed"`` or ``"auto"`` (density heuristic with sign-only
         promotion).  ``None`` (default) keeps the model's current
-        representation.  Choose sparse for large low-density instances
-        (packed when the couplings are sign-only); fixed-seed
-        trajectories are backend-independent for exactly-representable
-        couplings (see module docstring).
+        representation — ``solve_ising`` takes an already-built Ising
+        model, so whoever built it chose a backend on purpose and a
+        default conversion would silently override that choice.  (This
+        deliberately diverges from :func:`solve_maxcut`, which *builds*
+        the model and therefore defaults to ``backend="auto"``.)  The
+        resolved representation is reported by
+        :meth:`SolvePlan.summary() <repro.core.plan.SolvePlan.summary>`.
+        Choose sparse for large low-density instances (packed when the
+        couplings are sign-only); fixed-seed trajectories are
+        backend-independent for exactly-representable couplings (see
+        module docstring).
     tile_size:
         When given (and ``method="insitu"``), the solve runs on the
         hardware-instrumented tiled crossbar machine
@@ -268,73 +151,16 @@ def solve_ising(
         Forwarded to the solver constructor (e.g. ``flips_per_iteration``).
     """
     iterations = _check_solve_args(model, method, iterations)
-    reorder = check_choice(
-        "reorder", "none" if reorder is None else reorder, REORDER_MODES
+    # One generator for both phases: compilation consumes programming
+    # draws (device backend / variation models) and execution consumes
+    # the proposal/accept stream — exactly the historical shared-stream
+    # order, so fixed-seed regressions stay bit-identical.
+    rng = ensure_rng(seed)
+    plan = compile_plan(
+        model, method=method, backend=backend, tile_size=tile_size,
+        reorder=reorder, replicas=replicas, seed=rng, **solver_kwargs
     )
-    if reorder != "none" and "permutation" in solver_kwargs:
-        raise ValueError(
-            "pass either reorder= or an explicit permutation=, not both"
-        )
-    if backend is not None:
-        model = as_backend(model, backend)
-    if replicas is not None:
-        # Validated here at the boundary — a bool or non-integer count
-        # used to slip past solve_ising into the engine constructors.
-        replicas = check_count(
-            "replicas", replicas,
-            hint="each replica is one independent trajectory",
-        )
-        if method != "sb" and method not in _BATCH_SOLVERS:
-            raise ValueError(
-                f"replicas only applies to methods "
-                f"{sorted([*_BATCH_SOLVERS, 'sb'])}, got method={method!r} "
-                f"(MESA has no batch engine)"
-            )
-        if tile_size is not None and method != "sb":
-            raise ValueError(
-                "replicas cannot be combined with tile_size; the tiled "
-                "crossbar machine runs one replica per programmed array "
-                "(method='sb' time-multiplexes replicas over the grid)"
-            )
-    if tile_size is not None:
-        tile_size = check_count(
-            "tile_size", tile_size, minimum=2,
-            hint="a physical tile needs at least 2 rows",
-        )
-        if method not in ("insitu", "sb"):
-            raise ValueError(
-                f"tile_size is a crossbar-machine knob and only applies to "
-                f"method='insitu' or method='sb', got method={method!r}"
-            )
-        if method == "sb":
-            return _solve_sb_tiled(
-                model, iterations, seed, tile_size, reorder, replicas,
-                solver_kwargs,
-            )
-        return _solve_tiled(
-            model, iterations, seed, tile_size, reorder, solver_kwargs
-        )
-    if reorder != "none":
-        perm = reorder_permutation(model, reorder)
-        if perm is not None:
-            # model.permuted(perm) must always travel with permutation=perm
-            # so proposals/results stay in the caller's spin space; shared
-            # by the replica-batch and sequential dispatches below.
-            model = model.permuted(perm)
-            solver_kwargs = dict(solver_kwargs, permutation=perm)
-    if method == "sb":
-        from repro.core.sb import solve_sb
-
-        return solve_sb(
-            model, iterations, seed=seed, replicas=replicas, **solver_kwargs
-        )
-    if replicas is not None:
-        engine = _BATCH_SOLVERS[method](
-            model, replicas=replicas, seed=seed, **solver_kwargs
-        )
-        return engine.run(iterations)
-    solver = _SOLVERS[method](model, seed=seed, **solver_kwargs)
-    return solver.run(iterations)
+    return plan.execute(iterations, seed=rng)
 
 
 def solve_maxcut(
@@ -359,7 +185,12 @@ def solve_maxcut(
     Ising model (see :meth:`MaxCutProblem.to_ising`); the default
     ``"auto"`` builds large sparse instances — the whole G-set suite —
     on the CSR backend, bit-packed when the edge weights share one
-    ±magnitude (every ±1 G-set).  ``tile_size`` routes the solve through the tiled
+    ±magnitude (every ±1 G-set).  The default differs from
+    :func:`solve_ising` on purpose: this function *builds* the Ising
+    model from the problem, so there is no caller-chosen representation
+    to respect and the heuristic pick is the right one, whereas
+    ``solve_ising(backend=None)`` keeps whatever backend the caller
+    constructed.  ``tile_size`` routes the solve through the tiled
     crossbar machine and ``reorder`` applies a bandwidth-reducing spin
     relabelling ahead of tiling (see :func:`solve_ising`; the returned
     partition is always in the problem's original node order).

@@ -22,6 +22,7 @@ models and flip sets.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -94,6 +95,23 @@ class IsingModel:
     def has_fields(self) -> bool:
         """Whether any external field is non-zero."""
         return bool(np.any(self._h))
+
+    def content_fingerprint(self) -> str:
+        """Content digest of the problem data (couplings, fields, offset).
+
+        Two models hash equal iff they carry byte-identical numbers on the
+        same coupling backend; the display ``name`` is deliberately
+        excluded.  This is the model half of the
+        :class:`~repro.core.plan.PlanCache` key — backends hash
+        differently on purpose, because the compiled artifacts differ.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{type(self).__name__}:{self.num_spins}:{self.offset!r}".encode()
+        )
+        h.update(np.ascontiguousarray(self._J).tobytes())
+        h.update(np.ascontiguousarray(self._h).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Energies

@@ -42,6 +42,8 @@ pure-numpy byte lookup table (:func:`popcount_bytes`) is used instead.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.ising.sparse import SparseIsingModel
@@ -246,6 +248,24 @@ class PackedIsingModel(SparseIsingModel):
     def num_spin_words(self) -> int:
         """uint64 words per packed spin row, ``ceil(n / 64)``."""
         return self._num_words
+
+    def content_fingerprint(self) -> str:
+        """Content digest from the packed representation itself.
+
+        Same contract as the sparse base, ~64× less value data hashed:
+        the ``±c`` entries are fully determined by the shared scale plus
+        the sign-bit words, so the float64 CSR data array is skipped.
+        The class tag keeps packed/sparse twins distinct on purpose —
+        the :class:`~repro.core.plan.PlanCache` compiles per backend.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{type(self).__name__}:{self._n}:{self._scale!r}:"
+            f"{self.offset!r}".encode()
+        )
+        for arr in (self._indptr, self._indices, self._sign_words, self._h):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
 
     def packed_fields(self, spin_words: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Local fields ``g = J σ`` of one packed spin row, via popcount.

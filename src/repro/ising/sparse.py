@@ -36,6 +36,8 @@ a physical array).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.utils.rng import ensure_rng
@@ -296,6 +298,23 @@ class SparseIsingModel:
     def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The raw ``(indptr, indices, data)`` CSR arrays (do not mutate)."""
         return self._indptr, self._indices, self._data
+
+    def content_fingerprint(self) -> str:
+        """Content digest of the problem data (CSR arrays, fields, offset).
+
+        O(nnz), never densifies.  Same contract as
+        :meth:`repro.ising.model.IsingModel.content_fingerprint`: equal
+        iff the stored numbers are byte-identical on the same backend
+        (the display ``name`` is excluded); the model half of the
+        :class:`~repro.core.plan.PlanCache` key.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{type(self).__name__}:{self._n}:{self.offset!r}".encode()
+        )
+        for arr in (self._indptr, self._indices, self._data, self._h):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
 
     def max_abs_entry(self) -> float:
         """Largest |J_ij| over *all* stored entries (diagonal included).

@@ -410,6 +410,67 @@ class TestApiCliParity:
         assert "solve" in findings[0].message
 
 
+# ---------------------------------------------------------------- RPL007
+
+
+class TestPlanOwnership:
+    def test_fold_and_layout_calls_flagged_in_library_code(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/arch/machine.py": (
+                "work = model.with_ancilla()\n"
+                "perm = reorder_permutation(work, 'rcm', tile_size=64)\n"
+            ),
+        })
+        assert codes(findings) == ["RPL007", "RPL007"]
+        assert "compile_plan" in findings[0].message
+
+    def test_strip_helpers_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/hot.py": (
+                "result = _strip_ancilla(result)\n"
+            ),
+        })
+        assert codes(findings) == ["RPL007"]
+
+    def test_plan_module_owns_the_primitives(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/plan.py": (
+                "work = model.with_ancilla()\n"
+                "perm = reorder_permutation(work, 'rcm')\n"
+                "result = _strip_ancilla(result)\n"
+            ),
+        })
+        assert findings == []
+
+    def test_tests_and_benchmarks_exempt(self, tmp_path):
+        # Asserting fold/strip semantics requires calling them — the
+        # ownership ban only applies to library code under src/.
+        findings = lint_tree(tmp_path, {
+            "tests/test_fold.py": "work = model.with_ancilla()\n",
+            "benchmarks/bench_fold.py": (
+                "perm = reorder_permutation(m, 'rcm', tile_size=64)\n"
+            ),
+        })
+        assert findings == []
+
+    def test_suppressed_with_ownership_audit(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/arch/machine.py": (
+                "# Fold owned here: equivalence probe against the plan.\n"
+                f"work = model.with_ancilla()  {DISABLE}RPL007\n"
+            ),
+        })
+        assert findings == []
+
+    def test_unused_suppression_reported(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/arch/machine.py": (
+                f"work = model.fold()  {DISABLE}RPL007\n"
+            ),
+        })
+        assert codes(findings) == ["RPL000"]
+
+
 # ------------------------------------------------------------ engine/API
 
 
@@ -452,12 +513,13 @@ class TestEngine:
         assert [f["code"] for f in doc["findings"]] == ["RPL001"]
         assert {r["code"] for r in doc["rules"]} == {
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007",
         }
 
     def test_text_reporter_clean_line(self):
         rules = default_rules(LintConfig())
         out = render_text([], 10, rules)
-        assert out == "repro-lint: clean (10 files, 6 rules)"
+        assert out == "repro-lint: clean (10 files, 7 rules)"
 
 
 # ----------------------------------------------------------------- gates

@@ -71,15 +71,46 @@ COUNT_PARAMS: frozenset[str] = frozenset(
 #: methods are audited everywhere under ``src/``).
 BOUNDARY_MODULES: tuple[str, ...] = (
     "src/repro/core/solver.py",
+    "src/repro/core/plan.py",
     "src/repro/cli.py",
 )
 
 #: Callables that are known to validate the count parameters they are
 #: handed (so forwarding to them satisfies RPL003).  ``solve_maxcut``
-#: delegates every count knob to ``solve_ising``, which runs the
-#: ``check_*`` battery at its own boundary.
+#: delegates every count knob to ``solve_ising``, which now delegates to
+#: ``compile_plan`` — the boundary where the ``check_*`` battery runs.
+#: ``reorder_permutation`` validates ``tile_size`` itself (it is the
+#: partition-mode guard), so ``resolve_layout`` forwarding to it is safe.
 VALIDATING_SINKS: frozenset[str] = frozenset(
-    {"solve_ising", "solve_sb", "_check_solve_args"}
+    {
+        "solve_ising",
+        "solve_sb",
+        "_check_solve_args",
+        "compile_plan",
+        "reorder_permutation",
+    }
+)
+
+#: Solve-setup primitives owned by ``repro.core.plan`` (RPL007): the
+#: ancilla fold/strip pair and the reorder layout race.  Before the
+#: compile/execute split these were duplicated across ``_solve_tiled``,
+#: ``_solve_sb_tiled`` and the machine constructor and drifted; now any
+#: library call site outside the allowlist must route through
+#: ``compile_plan``/``resolve_layout`` or carry an audited suppression.
+PLAN_SETUP_CALLS: frozenset[str] = frozenset(
+    {
+        "with_ancilla",
+        "reorder_permutation",
+        "_strip_ancilla",
+        "_strip_ancilla_batch",
+    }
+)
+
+#: Modules allowed to call the plan-setup primitives (RPL007).  Only the
+#: owner today — the rule flags *calls*, so the defining methods in
+#: ``model.py``/``sparse.py``/``reorder.py`` need no entry.
+PLAN_SETUP_ALLOWLIST: tuple[str, ...] = (
+    "src/repro/core/plan.py",
 )
 
 #: The API/CLI parity contract (RPL006 + tests/test_api_cli_parity.py).
@@ -120,6 +151,8 @@ class LintConfig:
     count_params: frozenset[str] = COUNT_PARAMS
     boundary_modules: tuple[str, ...] = BOUNDARY_MODULES
     validating_sinks: frozenset[str] = VALIDATING_SINKS
+    plan_setup_calls: frozenset[str] = PLAN_SETUP_CALLS
+    plan_setup_allowlist: tuple[str, ...] = PLAN_SETUP_ALLOWLIST
     parity_functions: tuple[str, ...] = PARITY_FUNCTIONS
     parity_solver_module: str = PARITY_SOLVER_MODULE
     parity_cli_module: str = PARITY_CLI_MODULE

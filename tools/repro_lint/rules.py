@@ -454,6 +454,52 @@ class ApiCliParityRule(Rule):
         return flags
 
 
+class PlanOwnershipRule(Rule):
+    """RPL007 — solve-setup primitives belong to ``repro.core.plan``.
+
+    The compile/execute refactor (PR 9) collapsed three divergent copies
+    of the solve setup — ancilla fold/strip and the reorder layout race
+    lived in ``_solve_tiled``, ``_solve_sb_tiled`` *and* the machine
+    constructor, and had already drifted once (the tiled-SB path forgot
+    the machine's tile-size guard).  The plan compiler is now the single
+    owner: library code outside ``src/repro/core/plan.py`` may not call
+    ``with_ancilla``/``reorder_permutation`` or the ancilla strip helpers
+    directly — route through ``compile_plan``/``resolve_layout`` (or
+    suppress inline where a layer legitimately owns the transformation,
+    e.g. a transparency test probing the fold itself).  Tests and
+    benchmarks are exempt by design: asserting fold/strip semantics
+    requires calling them.
+    """
+
+    code = "RPL007"
+    name = "plan-ownership"
+    summary = (
+        "no with_ancilla/reorder_permutation/ancilla-strip calls in "
+        "library code outside repro/core/plan.py — route through "
+        "compile_plan/resolve_layout"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.path.startswith("src/"):
+            return
+        if any(fnmatch(ctx.path, pat) for pat in self.config.plan_setup_allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in self.config.plan_setup_calls:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() is a solve-setup primitive owned by "
+                    "repro.core.plan — calling it here re-creates the "
+                    "duplicated-setup bug class the compile/execute split "
+                    "removed; go through compile_plan()/resolve_layout() "
+                    "or suppress with the reason this layer owns the "
+                    "transformation",
+                )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoDensifyRule,
     RngDisciplineRule,
@@ -461,6 +507,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ReshapeScatterAliasRule,
     UlpDriftRule,
     ApiCliParityRule,
+    PlanOwnershipRule,
 )
 
 
