@@ -1,0 +1,186 @@
+"""Serve acceptance bench: packed multi-tenant throughput, bit-identically.
+
+The serving layer's claim is that many small independent jobs cost ONE
+batch engine run: the scheduler stacks their couplings block-diagonally
+and a single (R, Σnᵢ) rank-t step advances every tenant
+(:mod:`repro.core.blockstack`), while a solo caller pays the full
+per-solve overhead — schedule build, state setup, Python-loop iteration
+— once *per job*.  Asserted here:
+
+* **Bit-identity before timing** — every job's served result (energies,
+  spin vectors, acceptance counters, per replica) equals its solo
+  ``solve_ising(model, method, iterations, seed, replicas=R)`` call
+  exactly.  The solo sweep that provides the references is also the
+  sequential baseline being timed; a speedup bought by changing results
+  would be meaningless.
+* **≥5× jobs/sec over sequential ``solve_ising`` at the full 1k-job
+  protocol** (the acceptance criterion; ≥2× at any smoke size — CI runs
+  reduced).
+* **Bounded tail latency** — the p99 submit→result latency under the
+  full concurrent load stays below the time the sequential baseline
+  needs for the whole sweep.
+* **No densification** — both sweeps run under the
+  ``SparseIsingModel.toarray`` / dense ``matrix_hat`` trap.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SERVE_BENCH_JOBS``     — concurrent jobs (default 1000).
+* ``REPRO_SERVE_BENCH_SPINS``    — spins per job (default 48).
+* ``REPRO_SERVE_BENCH_ITERS``    — annealing iterations (default 200).
+* ``REPRO_SERVE_BENCH_REPLICAS`` — replicas per job (default 4).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+from benchmarks._common import emit
+from benchmarks._common import forbid_densification as _forbid_densification
+from repro.core import solve_ising
+from repro.ising.sparse import SparseIsingModel
+from repro.serve import SolverService, job_request, service_config
+from repro.utils.tables import render_table
+
+BENCH_JOBS = int(os.environ.get("REPRO_SERVE_BENCH_JOBS", "1000"))
+BENCH_SPINS = int(os.environ.get("REPRO_SERVE_BENCH_SPINS", "48"))
+BENCH_ITERS = int(os.environ.get("REPRO_SERVE_BENCH_ITERS", "200"))
+BENCH_REPLICAS = int(os.environ.get("REPRO_SERVE_BENCH_REPLICAS", "4"))
+METHOD = "insitu"
+SEED = 7100
+
+#: The acceptance floor: ≥5× at the full 1k-concurrent-job protocol,
+#: ≥2× at any smoke size (CI runs reduced).
+FULL_JOBS = 1000
+SPEEDUP_FLOOR = 5.0 if BENCH_JOBS >= FULL_JOBS else 2.0
+
+
+def _make_models():
+    """Distinct small dyadic (±1/4) instances, one per tenant job."""
+    models = []
+    for i in range(BENCH_JOBS):
+        base = SparseIsingModel.random(BENCH_SPINS, degree=6.0, seed=i)
+        indptr, indices, data = base.csr_arrays()
+        models.append(SparseIsingModel(
+            indptr, indices, np.sign(data) * 0.25, None, 0.0, f"tenant-{i}"
+        ))
+    return models
+
+
+def _identical(solo, served) -> bool:
+    return (
+        np.array_equal(solo.best_energies, served.best_energies)
+        and np.array_equal(solo.best_sigmas, served.best_sigmas)
+        and np.array_equal(solo.final_energies, served.final_energies)
+        and np.array_equal(solo.final_sigmas, served.final_sigmas)
+        and np.array_equal(solo.accepted, served.accepted)
+    )
+
+
+async def _serve_sweep(jobs):
+    """Submit every job concurrently; per-job submit→result latencies."""
+    latencies = [0.0] * len(jobs)
+    results = [None] * len(jobs)
+    config = service_config(
+        max_queue=max(256, BENCH_JOBS),
+        max_batch_jobs=256,
+        gather_window=0.005,
+    )
+
+    async def one(i, svc, loop):
+        t0 = loop.time()
+        results[i] = await svc.submit(jobs[i])
+        latencies[i] = loop.time() - t0
+
+    async with SolverService(config) as svc:
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(*(one(i, svc, loop) for i in range(len(jobs))))
+        stats = svc.stats()
+    return results, latencies, stats
+
+
+def test_serve_packs_concurrent_jobs(capsys):
+    """1k concurrent small jobs: ≥5×/≥2× jobs/sec, results bit-identical."""
+    models = _make_models()
+    seeds = [SEED + i for i in range(BENCH_JOBS)]
+
+    with _forbid_densification():
+        # Sequential baseline — also the bit-identity reference set.
+        seq_start = time.perf_counter()
+        solo = [
+            solve_ising(
+                m, method=METHOD, iterations=BENCH_ITERS, seed=s,
+                replicas=BENCH_REPLICAS,
+            )
+            for m, s in zip(models, seeds)
+        ]
+        seq_time = time.perf_counter() - seq_start
+
+        jobs = [
+            job_request(
+                f"tenant-{i}", m, method=METHOD, iterations=BENCH_ITERS,
+                replicas=BENCH_REPLICAS, seed=s,
+            )
+            for i, (m, s) in enumerate(zip(models, seeds))
+        ]
+        serve_start = time.perf_counter()
+        served, latencies, stats = asyncio.run(_serve_sweep(jobs))
+        serve_time = time.perf_counter() - serve_start
+
+    # Every result bit-identical to its solo solve — before any timing
+    # assertion, so a fast-but-wrong service cannot pass.
+    mismatched = [
+        jobs[i].job_id for i in range(BENCH_JOBS)
+        if not _identical(solo[i], served[i])
+    ]
+    assert not mismatched, (
+        f"{len(mismatched)} served job(s) diverged from their solo "
+        f"solves, e.g. {mismatched[:5]}"
+    )
+
+    speedup = seq_time / serve_time
+    seq_jps = BENCH_JOBS / seq_time
+    serve_jps = BENCH_JOBS / serve_time
+    lat = np.sort(np.asarray(latencies))
+    p50 = float(lat[int(0.50 * (len(lat) - 1))])
+    p99 = float(lat[int(0.99 * (len(lat) - 1))])
+    packed_share = stats["packed_jobs"] / max(1, stats["jobs"])
+
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("jobs / spins / replicas",
+             f"{BENCH_JOBS} / {BENCH_SPINS} / {BENCH_REPLICAS}"),
+            ("method / iterations", f"{METHOD} / {BENCH_ITERS}"),
+            ("sequential sweep", f"{seq_time:.2f} s ({seq_jps:.0f} jobs/s)"),
+            ("served sweep", f"{serve_time:.2f} s ({serve_jps:.0f} jobs/s)"),
+            ("speedup", f"{speedup:.1f}× (floor {SPEEDUP_FLOOR}×)"),
+            ("latency p50 / p99", f"{p50 * 1e3:.0f} / {p99 * 1e3:.0f} ms"),
+            ("batches / packed share",
+             f"{stats['batches']} / {packed_share:.0%}"),
+            ("bit-identical", f"{not mismatched}"),
+        ],
+        title=(
+            f"repro.serve — {BENCH_JOBS} concurrent tenants, "
+            f"n={BENCH_SPINS}, R={BENCH_REPLICAS}, block-stacked batches"
+        ),
+    )
+    emit(capsys, "serve", table)
+
+    assert stats["failed_jobs"] == 0, stats
+    # Packing must actually have happened — a solo-only scheduler would
+    # make the speedup assertion meaningless noise.
+    assert packed_share > 0.9, stats
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"served sweep only {speedup:.2f}× faster (floor {SPEEDUP_FLOOR}×):"
+        f" sequential {seq_time:.2f} s vs served {serve_time:.2f} s"
+    )
+    # Tail latency under full concurrent load beats running the whole
+    # sweep sequentially — the service never makes a tenant worse off.
+    assert p99 < seq_time, (
+        f"p99 latency {p99:.2f} s exceeds the sequential sweep "
+        f"({seq_time:.2f} s)"
+    )

@@ -7,6 +7,8 @@ Commands
 ``compare``   run all three machines on an instance and print the ledgers
 ``curves``    print the device transfer curves behind Fig 2/6
 ``suite``     list the 30-instance paper evaluation suite
+``serve``     run the multi-tenant batching solver service (JSON lines/TCP)
+``submit``    submit one instance to a running service (or query stats)
 """
 
 from __future__ import annotations
@@ -209,6 +211,76 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.protocol import start_server
+    from repro.serve.service import SolverService, service_config
+
+    config = service_config(
+        max_queue=args.max_queue,
+        max_batch_jobs=args.max_batch_jobs,
+        gather_window=args.gather_window,
+        plan_cache_size=args.plan_cache_size,
+    )
+
+    async def run() -> None:
+        async with SolverService(config) as service:
+            server = await start_server(service, args.host, args.port)
+            addr = server.sockets[0].getsockname()
+            print(f"repro serve listening on {addr[0]}:{addr[1]} "
+                  f"(max_queue={config.max_queue}, "
+                  f"max_batch_jobs={config.max_batch_jobs}, "
+                  f"gather_window={config.gather_window}s)")
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.protocol import request
+
+    if args.stats:
+        response = request({"op": "stats"}, args.host, args.port)
+        if not response.get("ok"):
+            print(f"error: {response.get('error')}", file=sys.stderr)
+            return 2
+        for key, value in response["stats"].items():
+            print(f"{key}: {value}")
+        return 0
+    if args.instance is None:
+        print("error: provide an instance file (or --stats)", file=sys.stderr)
+        return 2
+    with open(args.instance, encoding="utf-8") as handle:
+        source = handle.read()
+    payload = {
+        "op": "solve",
+        "job_id": args.job_id if args.job_id else args.instance,
+        "gset": source,
+        "method": args.method,
+        "iterations": args.iterations,
+        "replicas": args.replicas,
+        "flips": args.flips,
+        "seed": args.seed,
+        "backend": args.backend,
+    }
+    response = request(payload, args.host, args.port)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 2
+    print(f"{response['job_id']}: best_cut={response['best_cut']:g} "
+          f"best_energy={response['best_energy']:g} "
+          f"replicas={response['replicas']} "
+          f"{'packed' if response['packed'] else 'solo'} "
+          f"batch_size={response['batch_size']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -293,6 +365,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite", help="list the paper evaluation suite")
     suite.set_defaults(func=_cmd_suite)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant batching solver service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421)
+    serve.add_argument("--max-queue", type=int, default=256, metavar="N",
+                       help="bounded job-queue depth (backpressure past it)")
+    serve.add_argument("--max-batch-jobs", type=int, default=64, metavar="K",
+                       help="most jobs packed into one block-stacked run")
+    serve.add_argument("--gather-window", type=float, default=0.002,
+                       metavar="SEC",
+                       help="how long to gather more jobs after the first "
+                            "before launching a batch")
+    serve.add_argument("--plan-cache-size", type=int, default=32, metavar="N",
+                       help="LRU slots of the solo-path plan cache")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an instance to a running service"
+    )
+    submit.add_argument("instance", nargs="?", default=None,
+                        help="path to a Gset file (omit with --stats)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7421)
+    submit.add_argument("--job-id", default=None,
+                        help="job id echoed in results/errors "
+                             "(default: the instance path)")
+    submit.add_argument("--method", choices=("insitu", "sa", "sb"),
+                        default="insitu")
+    submit.add_argument("--iterations", type=int, default=1000)
+    submit.add_argument("--replicas", type=int, default=1, metavar="R",
+                        help="independent trajectories (per-job cap applies)")
+    submit.add_argument("--flips", type=int, default=1, metavar="T",
+                        help="spin-flip proposals per iteration (rank-T)")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--backend",
+                        choices=("auto", "dense", "sparse", "packed"),
+                        default="auto")
+    submit.add_argument("--stats", action="store_true",
+                        help="print service/plan-cache counters and exit")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -13,10 +13,22 @@
 * :mod:`repro.core.sb` — ballistic/discrete simulated bifurcation;
 * :mod:`repro.core.plan` — compile/execute split (``SolvePlan``,
   ``PlanCache``): setup once, anneal many times;
+* :mod:`repro.core.blockstack` — block-diagonal model union: many small
+  jobs advance in ONE batch engine run, results slice out bit-identically;
 * :mod:`repro.core.solver` — one-call high-level API.
 """
 
 from repro.core.annealer import InSituAnnealer
+from repro.core.blockstack import (
+    BLOCK_ALIGN,
+    PACK_METHODS,
+    BlockSlice,
+    BlockStack,
+    StackedLane,
+    compile_lane,
+    run_stacked,
+    stack_models,
+)
 from repro.core.batch import (
     BatchAnnealResult,
     BatchDirectEAnnealer,
@@ -134,4 +146,12 @@ __all__ = [
     "SolvePlan",
     "PlanCache",
     "compile_plan",
+    "BLOCK_ALIGN",
+    "PACK_METHODS",
+    "BlockSlice",
+    "BlockStack",
+    "StackedLane",
+    "compile_lane",
+    "run_stacked",
+    "stack_models",
 ]

@@ -80,6 +80,33 @@ class FloatBatchState:
         """Snapshot the current state of improved replicas."""
         self._best[improved] = self._sigma[improved]
 
+    def record_best_blocks(
+        self, rows: np.ndarray, starts: np.ndarray, stops: np.ndarray
+    ) -> None:
+        """Snapshot column ranges ``[starts[a], stops[a])`` of ``rows[a]``.
+
+        The block-stacked runner (:mod:`repro.core.blockstack`) packs many
+        independent jobs side by side in one replica row, so a best-state
+        improvement belongs to *one column block*, not the whole row —
+        :meth:`record_best` would overwrite other jobs' snapshots.
+        ``rows`` may repeat (several jobs of one replica improving in the
+        same iteration): the ranges are disjoint per replica, so the flat
+        copy below touches each destination element once.
+        """
+        widths = (stops - starts).astype(np.intp)
+        total = int(widths.sum())
+        if total == 0:
+            return
+        offsets = np.concatenate(([0], np.cumsum(widths)[:-1]))
+        n = self._sigma.shape[1]
+        flat = (
+            np.repeat(rows * n + starts - offsets, widths)
+            + np.arange(total)
+        )
+        # Aliasing audited: _sigma enters C-contiguous (the engine
+        # re-contiguates permutation gathers) and _best is its .copy().
+        self._best.reshape(-1)[flat] = self._sigma.reshape(-1)[flat]  # repro-lint: disable=RPL004
+
     def _readout(self, sigma: np.ndarray, fwd: np.ndarray | None) -> np.ndarray:
         if fwd is not None:
             sigma = sigma[:, fwd]
@@ -156,14 +183,27 @@ class DenseCouplingOps:
         Same formula as :meth:`cross_term` per replica, evaluated
         array-wide; the ``t == 1`` fast path reuses the cached diagonal.
         """
+        return self.batch_cross_term_slots(g, idx, sig_f).sum(axis=1)
+
+    def batch_cross_term_slots(
+        self, g: np.ndarray, idx: np.ndarray, sig_f: np.ndarray
+    ) -> np.ndarray:
+        """``(R, t)`` per-slot cross-term contributions, before the sum.
+
+        :meth:`batch_cross_term` is exactly ``slots.sum(axis=1)`` (IEEE
+        negation is exact and sign-symmetric under rounding, so negating
+        per slot and summing matches negating the sum bit-for-bit).  The
+        block-stacked runner consumes the unsummed slots to regroup them
+        per member block.
+        """
         rows = np.arange(idx.shape[0])[:, None]
         g_f = g[rows, idx]
         if idx.shape[1] == 1:
-            return -(sig_f * (g_f - self._diag[idx] * sig_f)).sum(axis=1)
+            return -(sig_f * (g_f - self._diag[idx] * sig_f))
         sub = np.einsum(
             "rkl,rl->rk", self._J[idx[:, :, None], idx[:, None, :]], sig_f
         )
-        return -(sig_f * (g_f - sub)).sum(axis=1)
+        return -(sig_f * (g_f - sub))
 
     def batch_update_fields(
         self, g: np.ndarray, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
@@ -337,11 +377,24 @@ class SparseCouplingOps:
         key array.  O(Σ degree · log t) time, O(Σ degree) memory; the
         coupling matrix is never densified.
         """
+        return self.batch_cross_term_slots(g, idx, sig_f).sum(axis=1)
+
+    def batch_cross_term_slots(
+        self, g: np.ndarray, idx: np.ndarray, sig_f: np.ndarray
+    ) -> np.ndarray:
+        """``(R, t)`` per-slot cross-term contributions, before the sum.
+
+        Same split as the dense twin: :meth:`batch_cross_term` is exactly
+        ``slots.sum(axis=1)``.  For flip sets whose members live in
+        mutually uncoupled column blocks (the block-stacked union), each
+        slot's ``sub`` only sees flips of its own block, so regrouped
+        per-block sums reproduce the member models' solo cross terms.
+        """
         R, t = idx.shape
         rows = np.arange(R)[:, None]
         g_f = g[rows, idx]
         if t == 1:
-            return -(sig_f * (g_f - self._diag[idx] * sig_f)).sum(axis=1)
+            return -(sig_f * (g_f - self._diag[idx] * sig_f))
         order = np.argsort(idx, axis=1)
         sorted_idx = np.take_along_axis(idx, order, axis=1)
         sorted_sig = np.take_along_axis(sig_f, order, axis=1).ravel()
@@ -360,7 +413,7 @@ class SparseCouplingOps:
                     weights=w[hit] * sorted_sig[loc[hit]],
                     minlength=R * t,
                 )
-        return -(sig_f * (g_f - sub.reshape(R, t))).sum(axis=1)
+        return -(sig_f * (g_f - sub.reshape(R, t)))
 
     def batch_update_fields(
         self, g: np.ndarray, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray

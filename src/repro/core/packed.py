@@ -96,6 +96,34 @@ class PackedBatchState:
         """Snapshot the current state of improved replicas (word rows)."""
         self._best[improved] = self._words[improved]
 
+    def record_best_blocks(
+        self, rows: np.ndarray, starts: np.ndarray, stops: np.ndarray
+    ) -> None:
+        """Snapshot column ranges ``[starts[a], stops[a])`` of ``rows[a]``.
+
+        Word-granular twin of
+        :meth:`~repro.core.coupling.FloatBatchState.record_best_blocks`:
+        the covered word range ``[starts >> 6, ceil(stops / 64))`` is
+        copied, so callers must hand in ranges whose word cover does not
+        cross into a neighbouring block — the block-stacked union pads
+        every block to a 64-spin boundary for exactly this reason (the
+        spill-over columns are the block's own padding spins).
+        """
+        word_lo = (starts >> 6).astype(np.intp)
+        word_hi = ((stops + 63) >> 6).astype(np.intp)
+        widths = word_hi - word_lo
+        total = int(widths.sum())
+        if total == 0:
+            return
+        offsets = np.concatenate(([0], np.cumsum(widths)[:-1]))
+        flat = (
+            np.repeat(rows * self._num_words + word_lo - offsets, widths)
+            + np.arange(total)
+        )
+        # Aliasing audited: _words comes from pack_spin_rows (np.zeros +
+        # in-place |=, C-contiguous by construction) and _best is its copy.
+        self._best.reshape(-1)[flat] = self._words.reshape(-1)[flat]  # repro-lint: disable=RPL004
+
     def _readout(self, words: np.ndarray, fwd: np.ndarray | None) -> np.ndarray:
         sigma = unpack_spin_rows(words, self._n)
         return sigma if fwd is None else sigma[:, fwd]

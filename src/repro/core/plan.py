@@ -43,6 +43,7 @@ real hardware would.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -539,6 +540,14 @@ class PlanCache:
     The seed is not part of the key (see :func:`compile_plan`'s
     randomness contract); plans whose programming pass drew randomness
     are reused as-programmed, like the physical array they model.
+
+    The cache is thread-safe: one lock guards the LRU map and the
+    counters, and :meth:`get_or_compile` holds it across the whole
+    lookup-compile-insert sequence.  Compiles therefore serialize — a
+    deliberate trade: concurrent misses on the *same* instance would
+    otherwise compile the plan twice and race the insert, and the serve
+    scheduler (the concurrent caller this exists for) runs solves on a
+    worker thread while accepting submissions on the event loop.
     """
 
     def __init__(self, maxsize: int = 16) -> None:
@@ -546,29 +555,34 @@ class PlanCache:
             "maxsize", maxsize, hint="an LRU cache needs at least one slot"
         )
         self._plans: OrderedDict[str, SolvePlan] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._plans
+        with self._lock:
+            return fingerprint in self._plans
 
     def clear(self) -> None:
         """Drop every cached plan (counters are kept)."""
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._plans),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+            }
 
     def get_or_compile(
         self,
@@ -591,21 +605,23 @@ class PlanCache:
             model, method, backend, tile_size, reorder, replicas,
             solver_kwargs,
         )
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+            plan = compile_plan(
+                model, method=method, backend=backend, tile_size=tile_size,
+                reorder=reorder, replicas=replicas, seed=seed,
+                **solver_kwargs
+            )
+            self._plans[key] = plan
+            if len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
             return plan
-        self.misses += 1
-        plan = compile_plan(
-            model, method=method, backend=backend, tile_size=tile_size,
-            reorder=reorder, replicas=replicas, seed=seed, **solver_kwargs
-        )
-        self._plans[key] = plan
-        if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-            self.evictions += 1
-        return plan
 
 
 __all__ = [

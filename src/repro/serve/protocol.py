@@ -1,0 +1,190 @@
+"""JSON-lines TCP front end for the solver service.
+
+One request per line, one JSON response per line.  Requests are
+pipelined: each line is handled as its own task, so a client may queue
+many ``solve`` requests on one connection and responses stream back as
+batches complete (responses carry the request's ``job_id`` and may
+arrive out of order).
+
+Operations
+----------
+``{"op": "ping"}``
+    Liveness probe → ``{"ok": true}``.
+``{"op": "stats"}``
+    Service + plan-cache counters → ``{"ok": true, "stats": {...}}``.
+``{"op": "solve", "job_id": ..., "gset": "<instance text>", ...}``
+    Solve a Max-Cut instance given inline in G-set format (first line
+    ``n m``, then ``u v w`` edges, 1-based).  Optional knobs mirror
+    ``repro submit``: ``method``, ``iterations``, ``replicas``,
+    ``flips``, ``seed``, ``backend``.  The response reports the best
+    replica's energy, cut value and ±1 configuration.
+
+Errors return ``{"ok": false, "error": "..."}`` with the job id inside
+the message (the boundary validators prefix it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.ising.gset import parse_gset
+from repro.serve.jobs import job_request
+from repro.serve.service import SolverService
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7421
+
+
+async def handle_request(service: SolverService, payload: dict) -> dict:
+    """Dispatch one decoded request against the service."""
+    op = payload.get("op")
+    if op == "ping":
+        return {"ok": True}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "solve":
+        return await _handle_solve(service, payload)
+    return {
+        "ok": False,
+        "error": f"unknown op {op!r}; choose from ['ping', 'solve', 'stats']",
+    }
+
+
+async def _handle_solve(service: SolverService, payload: dict) -> dict:
+    job_id = payload.get("job_id")
+    try:
+        source = payload.get("gset")
+        if not isinstance(source, str) or not source.strip():
+            raise ValueError(
+                f"job {job_id!r}: 'gset' must carry the instance text "
+                f"(first line 'n m', then 'u v w' edge lines)"
+            )
+        problem = parse_gset(
+            source, name=str(job_id) if job_id is not None else "gset"
+        )
+        model = problem.to_ising(backend=payload.get("backend", "auto"))
+        job = job_request(
+            str(job_id) if job_id is not None else "",
+            model,
+            method=payload.get("method", "insitu"),
+            iterations=payload.get("iterations", 1000),
+            replicas=payload.get("replicas", 1),
+            flips_per_iteration=payload.get("flips", 1),
+            seed=payload.get("seed"),
+        )
+        result = await service.submit(job)
+    except (ValueError, RuntimeError) as exc:
+        return {"ok": False, "error": str(exc), "job_id": job_id}
+    best = result.best_replica
+    return {
+        "ok": True,
+        "job_id": result.job_id,
+        "best_energy": float(result.best_energies[best]),
+        "best_cut": float(
+            problem.cut_from_energy(float(result.best_energies[best]))
+        ),
+        "best_sigma": [int(s) for s in result.best_sigmas[best]],
+        "replicas": int(result.best_energies.shape[0]),
+        "accepted": [int(a) for a in result.accepted],
+        "iterations": result.iterations,
+        "packed": result.packed,
+        "batch_size": result.batch_size,
+    }
+
+
+async def _handle_connection(
+    service: SolverService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    write_lock = asyncio.Lock()
+    pending: set[asyncio.Task] = set()
+
+    async def respond(payload: dict) -> None:
+        response = await handle_request(service, payload)
+        line = json.dumps(response).encode() + b"\n"
+        async with write_lock:
+            writer.write(line)
+            await writer.drain()
+
+    try:
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                await respond_error(
+                    writer, write_lock, f"invalid JSON line: {exc}"
+                )
+                continue
+            if not isinstance(payload, dict):
+                await respond_error(
+                    writer, write_lock,
+                    "each request line must be a JSON object",
+                )
+                continue
+            # Pipelined: each request resolves independently so long
+            # solves never block a ping/stats probe on the same socket.
+            task = asyncio.ensure_future(respond(payload))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def respond_error(
+    writer: asyncio.StreamWriter, write_lock: asyncio.Lock, message: str
+) -> None:
+    """Write one protocol-level error line."""
+    line = json.dumps({"ok": False, "error": message}).encode() + b"\n"
+    async with write_lock:
+        writer.write(line)
+        await writer.drain()
+
+
+async def start_server(
+    service: SolverService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> asyncio.AbstractServer:
+    """Bind the JSON-lines endpoint (service must already be started)."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+
+
+def request(payload: dict, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT) -> dict:
+    """Blocking one-shot client: send one request line, read one response.
+
+    Used by ``repro submit``; a trivial reference implementation of the
+    wire format for other clients.
+    """
+    with socket.create_connection((host, port)) as conn:
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+        with conn.makefile("r", encoding="utf-8") as stream:
+            line = stream.readline()
+    if not line:
+        raise RuntimeError(f"no response from {host}:{port}")
+    return json.loads(line)
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "handle_request",
+    "request",
+    "start_server",
+]

@@ -1,11 +1,11 @@
-"""Runtime API/CLI parity: every solve knob must be CLI-reachable.
+"""Runtime API/CLI parity: every contracted knob must be CLI-reachable.
 
-The static rule RPL006 checks the same contract by walking the AST of
-``core/solver.py`` and ``cli.py``; this test checks it against the
-*live* objects (``inspect.signature`` vs the built argparse parser), so
-a refactor that confuses the static pattern-match still cannot silently
-drop a flag.  Both sides share the allowlists in
-``tools.repro_lint.config`` — updating the contract is a one-file edit
+The static rule RPL006 checks the same contracts by walking the AST of
+the contracted API modules and ``cli.py``; this test checks them against
+the *live* objects (``inspect.signature`` vs the built argparse parser),
+so a refactor that confuses the static pattern-match still cannot
+silently drop a flag.  Both sides share the ``PARITY_CONTRACTS`` table
+in ``tools.repro_lint.config`` — updating a contract is a one-file edit
 that review sees.
 """
 
@@ -16,57 +16,74 @@ import inspect
 
 from repro.cli import build_parser
 from repro.core.solver import solve_ising, solve_maxcut
+from repro.serve.jobs import job_request
+from repro.serve.service import service_config
 from tools.repro_lint.config import (
-    PARITY_CLI_LESS,
-    PARITY_FLAG_MAP,
+    PARITY_CONTRACTS,
     PARITY_FUNCTIONS,
     SOLVER_KWARG_FLAGS,
 )
 
-PARITY_CALLABLES = {"solve_ising": solve_ising, "solve_maxcut": solve_maxcut}
+#: Live callables for every function named in the contracts table (the
+#: lookup below asserts the table and this registry cannot drift).
+CONTRACT_CALLABLES = {
+    "solve_ising": solve_ising,
+    "solve_maxcut": solve_maxcut,
+    "job_request": job_request,
+    "service_config": service_config,
+}
 
 
-def _solve_option_strings() -> set[str]:
-    """All ``--flag`` option strings of the ``solve`` subcommand."""
+def _option_strings(subcommand: str) -> set[str]:
+    """All ``--flag`` option strings of one CLI subcommand."""
     parser = build_parser()
-    solve_parser = next(
-        action.choices["solve"]
+    sub_parser = next(
+        action.choices[subcommand]
         for action in parser._actions
         if isinstance(action, argparse._SubParsersAction)
     )
     flags: set[str] = set()
-    for action in solve_parser._actions:
+    for action in sub_parser._actions:
         flags.update(action.option_strings)
     return flags
 
 
-def _expected_flag(param: str) -> str:
-    """CLI flag a keyword argument maps to (mechanical or allowlisted)."""
-    return PARITY_FLAG_MAP.get(param, "--" + param.replace("_", "-"))
+def test_contract_functions_are_pinned():
+    # The static rule and this test must audit the same functions, and
+    # the legacy single-contract alias must keep naming the solve pair.
+    contracted = {
+        name for contract in PARITY_CONTRACTS for name in contract.functions
+    }
+    assert contracted == set(CONTRACT_CALLABLES)
+    assert set(PARITY_FUNCTIONS) == {"solve_ising", "solve_maxcut"}
 
 
-def test_parity_functions_are_pinned():
-    # The static rule and this test must audit the same functions.
-    assert set(PARITY_FUNCTIONS) == set(PARITY_CALLABLES)
-
-
-def test_every_solver_kwarg_has_a_cli_flag():
-    flags = _solve_option_strings()
+def test_every_contracted_kwarg_has_a_cli_flag():
     missing = []
-    for name, fn in PARITY_CALLABLES.items():
-        params = list(inspect.signature(fn).parameters.values())
-        for param in params[1:]:  # skip the model/problem positional
-            if param.kind is inspect.Parameter.VAR_KEYWORD:
-                continue
-            if param.name in PARITY_CLI_LESS:
-                continue
-            if _expected_flag(param.name) not in flags:
-                missing.append(f"{name}({param.name}) -> {_expected_flag(param.name)}")
+    for contract in PARITY_CONTRACTS:
+        flags = _option_strings(contract.subcommand)
+        flag_map = dict(contract.flag_map)
+        for name in contract.functions:
+            fn = CONTRACT_CALLABLES[name]
+            params = list(inspect.signature(fn).parameters.values())
+            for param in params[contract.skip_leading:]:
+                if param.kind is inspect.Parameter.VAR_KEYWORD:
+                    continue
+                if param.name in contract.cli_less:
+                    continue
+                expected = flag_map.get(
+                    param.name, "--" + param.name.replace("_", "-")
+                )
+                if expected not in flags:
+                    missing.append(
+                        f"{name}({param.name}) -> {expected} "
+                        f"[{contract.subcommand}]"
+                    )
     assert not missing, (
-        "solver keyword(s) unreachable from `repro solve`: "
+        "contracted keyword(s) unreachable from the CLI: "
         + ", ".join(missing)
         + " — add the flag in cli.py or allowlist the kwarg in "
-        "tools/repro_lint/config.py with a rationale"
+        "tools/repro_lint/config.py (PARITY_CONTRACTS) with a rationale"
     )
 
 
@@ -74,7 +91,7 @@ def test_engine_kwarg_flags_still_exist():
     # **solver_kwargs knobs the CLI exposes under bespoke flags: the
     # static rule cannot see them (they are not in the signatures), so
     # pin them here.
-    flags = _solve_option_strings()
+    flags = _option_strings("solve")
     for kwarg, flag in SOLVER_KWARG_FLAGS.items():
         assert flag in flags, (
             f"CLI flag {flag} (engine kwarg {kwarg!r}) disappeared from "
@@ -83,12 +100,21 @@ def test_engine_kwarg_flags_still_exist():
 
 
 def test_allowlists_stay_minimal():
-    # Every allowlist entry must still correspond to a live keyword;
-    # stale entries hide real parity breaks.
-    known_params = set()
-    for fn in PARITY_CALLABLES.values():
-        known_params.update(inspect.signature(fn).parameters)
-    for param in PARITY_FLAG_MAP:
-        assert param in known_params, f"stale PARITY_FLAG_MAP entry: {param!r}"
-    for param in PARITY_CLI_LESS:
-        assert param in known_params, f"stale PARITY_CLI_LESS entry: {param!r}"
+    # Every allowlist entry must still correspond to a live keyword of
+    # its own contract's functions; stale entries hide parity breaks.
+    for contract in PARITY_CONTRACTS:
+        known_params = set()
+        for name in contract.functions:
+            known_params.update(
+                inspect.signature(CONTRACT_CALLABLES[name]).parameters
+            )
+        for param, _ in contract.flag_map:
+            assert param in known_params, (
+                f"stale flag_map entry in {contract.subcommand!r} "
+                f"contract: {param!r}"
+            )
+        for param in contract.cli_less:
+            assert param in known_params, (
+                f"stale cli_less entry in {contract.subcommand!r} "
+                f"contract: {param!r}"
+            )

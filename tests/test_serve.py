@@ -1,0 +1,323 @@
+"""The solver service: boundary validation, batching, protocol, CLI.
+
+Two invariants dominate: (1) every error crossing the serve boundary
+names the offending job id with the solve API's message bodies, and
+(2) every result the service hands back — packed into a block-stacked
+batch or solved solo through the plan cache — is bit-identical to the
+corresponding solo ``solve_ising`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import solve_ising
+from repro.ising import SparseIsingModel, generate_random, parse_gset, write_gset
+from repro.serve import (
+    MAX_JOB_REPLICAS,
+    SolverService,
+    job_request,
+    service_config,
+)
+from repro.serve.protocol import request, start_server
+from repro.serve.service import ServiceOverloadedError
+
+
+def member(n, seed, offset=0.0):
+    base = SparseIsingModel.random(n, degree=4.0, seed=seed)
+    indptr, indices, data = base.csr_arrays()
+    return SparseIsingModel(
+        indptr, indices, np.sign(data) * 0.25, None, offset, f"m{n}s{seed}"
+    )
+
+
+class TestJobBoundary:
+    def test_replica_cap_names_the_job(self):
+        with pytest.raises(ValueError, match="job 'greedy'"):
+            job_request("greedy", member(8, 1), replicas=MAX_JOB_REPLICAS + 1)
+        try:
+            job_request("greedy", member(8, 1), replicas=MAX_JOB_REPLICAS + 1)
+        except ValueError as exc:
+            assert f"at most {MAX_JOB_REPLICAS}" in str(exc)
+
+    def test_non_pm1_initial_names_the_job(self):
+        with pytest.raises(ValueError, match=r"job 'warm'.*must be ±1"):
+            job_request("warm", member(8, 1), initial=np.zeros(8))
+
+    def test_initial_shape_checked_against_replicas(self):
+        good = np.ones((2, 8))
+        job = job_request("ok", member(8, 1), replicas=2, initial=good)
+        assert job.initial.shape == (2, 8)
+        with pytest.raises(ValueError, match=r"\(2, 8\)"):
+            job_request("bad", member(8, 1), replicas=2, initial=np.ones((3, 8)))
+
+    def test_count_and_choice_messages_match_solve_api(self):
+        with pytest.raises(ValueError, match="iterations must be"):
+            job_request("j", member(8, 1), iterations=0)
+        with pytest.raises(ValueError, match="unknown method"):
+            job_request("j", member(8, 1), method="mesa")
+        with pytest.raises(ValueError, match=r"flips_per_iteration must be in \[1, 8\]"):
+            job_request("j", member(8, 1), flips_per_iteration=9)
+
+    def test_sb_rejects_flip_and_initial_knobs(self):
+        with pytest.raises(ValueError, match="only applies to methods"):
+            job_request("j", member(8, 1), method="sb", flips_per_iteration=2)
+        with pytest.raises(ValueError, match="only applies to methods"):
+            job_request("j", member(8, 1), method="sb", initial=np.ones(8))
+
+    def test_seed_must_be_serializable(self):
+        with pytest.raises(ValueError, match="seed must be an integer"):
+            job_request("j", member(8, 1), seed=np.random.Generator)
+        job = job_request("j", member(8, 1), seed=np.int64(5))
+        assert job.seed == 5 and isinstance(job.seed, int)
+
+
+class TestService:
+    def test_results_bit_identical_and_grouped(self):
+        jobs = []
+        expected = {}
+        for i in range(6):
+            jid = f"sa-{i}"
+            jobs.append(job_request(
+                jid, member(10 + i, 50 + i), method="sa", iterations=80,
+                replicas=2, flips_per_iteration=2, seed=900 + i,
+            ))
+            expected[jid] = solve_ising(
+                jobs[-1].model, method="sa", iterations=80, seed=900 + i,
+                replicas=2, flips_per_iteration=2,
+            )
+        for i in range(3):
+            jid = f"in-{i}"
+            jobs.append(job_request(
+                jid, member(9 + i, 70 + i), method="insitu", iterations=60,
+                replicas=1, seed=300 + i,
+            ))
+            expected[jid] = solve_ising(
+                jobs[-1].model, method="insitu", iterations=60, seed=300 + i,
+                replicas=1,
+            )
+        jid = "sb-0"
+        jobs.append(job_request(
+            jid, member(12, 90), method="sb", iterations=40, replicas=2,
+            seed=11,
+        ))
+        expected[jid] = solve_ising(
+            jobs[-1].model, method="sb", iterations=40, seed=11, replicas=2,
+        )
+
+        async def run():
+            config = service_config(gather_window=0.05)
+            async with SolverService(config) as svc:
+                results = await asyncio.gather(*(svc.submit(j) for j in jobs))
+                return results, svc.stats()
+
+        results, stats = asyncio.run(run())
+        for job, res in zip(jobs, results):
+            solo = expected[job.job_id]
+            assert np.array_equal(solo.best_energies, res.best_energies)
+            assert np.array_equal(solo.best_sigmas, res.best_sigmas)
+            assert np.array_equal(solo.final_energies, res.final_energies)
+            assert np.array_equal(solo.final_sigmas, res.final_sigmas)
+            assert np.array_equal(solo.accepted, res.accepted)
+        by_id = {r.job_id: r for r in results}
+        # The six compatible SA jobs pack; so do the three insitu jobs;
+        # SB always runs solo through the plan cache.
+        assert all(by_id[f"sa-{i}"].packed for i in range(6))
+        assert all(by_id[f"sa-{i}"].batch_size == 6 for i in range(6))
+        assert all(by_id[f"in-{i}"].packed for i in range(3))
+        assert not by_id["sb-0"].packed
+        assert stats["jobs"] == len(jobs)
+        assert stats["packed_jobs"] == 9
+        assert stats["solo_jobs"] == 1
+        assert stats["failed_jobs"] == 0
+
+    def test_plan_cache_counters_surface_in_stats(self):
+        m = member(10, 5)
+        jobs = [
+            job_request(f"rep-{i}", m, method="sb", iterations=20, seed=i)
+            for i in range(3)
+        ]
+
+        async def run():
+            async with SolverService() as svc:
+                for job in jobs:
+                    await svc.submit(job)
+                return svc.stats()
+
+        stats = asyncio.run(run())
+        cache = stats["plan_cache"]
+        assert cache["misses"] == 1
+        assert cache["hits"] == 2
+        assert cache["size"] == 1
+
+    def test_warm_start_runs_solo_with_initial(self):
+        m = member(10, 6)
+        initial = np.ones(10)
+        job = job_request(
+            "warm", m, method="sa", iterations=30, seed=4, initial=initial
+        )
+
+        async def run():
+            async with SolverService() as svc:
+                return await svc.submit(job)
+
+        res = asyncio.run(run())
+        assert not res.packed
+        assert res.best_energies.shape == (1,)
+
+    def test_invalid_job_fails_its_future_only(self):
+        good = job_request("fine", member(9, 7), method="sa", iterations=20,
+                           seed=1)
+        # Sneak an invalid flip rank past the boundary to prove per-job
+        # failure isolation inside a batch (boundary normally rejects it).
+        bad = job_request("doomed", member(9, 8), method="sa", iterations=20,
+                          seed=2)
+        object.__setattr__(bad, "flips_per_iteration", 20)
+
+        async def run():
+            async with SolverService(service_config(gather_window=0.05)) as svc:
+                futs = await asyncio.gather(
+                    svc.submit(good), svc.submit(bad), return_exceptions=True
+                )
+                return futs, svc.stats()
+
+        (good_res, bad_res), stats = asyncio.run(run())
+        assert good_res.job_id == "fine"
+        assert isinstance(bad_res, ValueError)
+        assert stats["failed_jobs"] == 1
+
+    def test_submit_nowait_sheds_load_when_queue_full(self):
+        jobs = [
+            job_request(f"q-{i}", member(8, i), method="sa", iterations=10,
+                        seed=i)
+            for i in range(3)
+        ]
+
+        async def run():
+            gate = threading.Event()
+            config = service_config(max_queue=1, gather_window=0.0)
+            svc = SolverService(config)
+            solve_batch = svc._solve_batch
+            svc._solve_batch = lambda batch: (gate.wait(5), solve_batch(batch))[1]
+            async with svc:
+                t1 = asyncio.ensure_future(svc.submit(jobs[0]))
+                await asyncio.sleep(0.05)  # scheduler now blocked in the gate
+                t2 = asyncio.ensure_future(svc.submit(jobs[1]))
+                await asyncio.sleep(0.05)  # fills the depth-1 queue
+                with pytest.raises(ServiceOverloadedError, match="job 'q-2'"):
+                    await svc.submit_nowait(jobs[2])
+                gate.set()
+                await asyncio.gather(t1, t2)
+
+        asyncio.run(run())
+
+    def test_submit_outside_lifecycle_is_rejected(self):
+        job = job_request("late", member(8, 1), iterations=10)
+
+        async def run():
+            svc = SolverService()
+            with pytest.raises(RuntimeError, match="job 'late'"):
+                await svc.submit(job)
+
+        asyncio.run(run())
+
+
+class _ServerThread:
+    """A live service + TCP endpoint on an ephemeral port, off-thread."""
+
+    def __init__(self) -> None:
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._ready.wait(10), "server thread did not come up"
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+    def _run(self) -> None:
+        async def main_() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            async with SolverService() as service:
+                server = await start_server(service, "127.0.0.1", 0)
+                self.port = server.sockets[0].getsockname()[1]
+                self._ready.set()
+                async with server:
+                    await self._stop.wait()
+
+        asyncio.run(main_())
+
+
+GSET_TEXT = "4 4\n1 2 1\n2 3 1\n3 4 1\n4 1 1\n"
+
+
+class TestProtocolAndCli:
+    def test_protocol_round_trip(self):
+        with _ServerThread() as server:
+            assert request({"op": "ping"}, port=server.port) == {"ok": True}
+            solve = request({
+                "op": "solve", "job_id": "wire", "gset": GSET_TEXT,
+                "method": "sa", "iterations": 50, "replicas": 2, "seed": 9,
+            }, port=server.port)
+            assert solve["ok"] and solve["job_id"] == "wire"
+            problem = parse_gset(GSET_TEXT)
+            solo = solve_ising(
+                problem.to_ising(backend="auto"), method="sa",
+                iterations=50, seed=9, replicas=2,
+            )
+            best = int(np.argmin(solo.best_energies))
+            assert solve["best_energy"] == float(solo.best_energies[best])
+            assert solve["best_cut"] == float(
+                problem.cut_from_energy(float(solo.best_energies[best]))
+            )
+            assert solve["best_sigma"] == [
+                int(s) for s in solo.best_sigmas[best]
+            ]
+            stats = request({"op": "stats"}, port=server.port)
+            assert stats["ok"] and stats["stats"]["jobs"] == 1
+            bad = request({"op": "warp"}, port=server.port)
+            assert not bad["ok"] and "unknown op" in bad["error"]
+            invalid = request({
+                "op": "solve", "job_id": "broken", "gset": GSET_TEXT,
+                "iterations": 0,
+            }, port=server.port)
+            assert not invalid["ok"] and "job 'broken'" in invalid["error"]
+
+    def test_cli_submit_and_stats(self, tmp_path, capsys):
+        path = tmp_path / "toy.gset"
+        write_gset(generate_random(20, 60, seed=2), path)
+        with _ServerThread() as server:
+            rc = main([
+                "submit", str(path), "--port", str(server.port),
+                "--method", "sa", "--iterations", "100", "--seed", "3",
+                "--replicas", "2", "--job-id", "cli-job",
+            ])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "cli-job: best_cut=" in out
+            assert main(["submit", "--stats", "--port", str(server.port)]) == 0
+            out = capsys.readouterr().out
+            assert "jobs: 1" in out
+            assert "plan_cache:" in out
+            rc = main([
+                "submit", str(path), "--port", str(server.port),
+                "--iterations", "0",
+            ])
+            assert rc == 2
+
+    def test_cli_submit_requires_instance_or_stats(self, capsys):
+        assert main(["submit", "--port", "1"]) == 2
+        assert "instance" in capsys.readouterr().err

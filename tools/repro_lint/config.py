@@ -72,7 +72,11 @@ COUNT_PARAMS: frozenset[str] = frozenset(
 BOUNDARY_MODULES: tuple[str, ...] = (
     "src/repro/core/solver.py",
     "src/repro/core/plan.py",
+    "src/repro/core/blockstack.py",
     "src/repro/cli.py",
+    "src/repro/serve/jobs.py",
+    "src/repro/serve/service.py",
+    "src/repro/serve/protocol.py",
 )
 
 #: Callables that are known to validate the count parameters they are
@@ -113,23 +117,62 @@ PLAN_SETUP_ALLOWLIST: tuple[str, ...] = (
     "src/repro/core/plan.py",
 )
 
-#: The API/CLI parity contract (RPL006 + tests/test_api_cli_parity.py).
-#: Functions whose keyword arguments must each be reachable through the
-#: CLI ``solve`` subcommand.
-PARITY_FUNCTIONS: tuple[str, ...] = ("solve_ising", "solve_maxcut")
-PARITY_SOLVER_MODULE: str = "src/repro/core/solver.py"
+#: The API/CLI parity contracts (RPL006 + tests/test_api_cli_parity.py).
+#: Each contract pins one CLI subcommand to the API functions it fronts:
+#: every keyword of those functions must be reachable through a flag on
+#: that subparser.  ``skip_leading`` positional parameters are the
+#: payload the subcommand reads from its file/connection arguments
+#: (``solve_ising``'s model comes from the instance file); keywords in
+#: ``cli_less`` intentionally have no flag and need a rationale comment.
+@dataclass(frozen=True)
+class ParityContract:
+    """One subcommand ↔ API-function parity obligation."""
+
+    subcommand: str
+    module: str
+    functions: tuple[str, ...]
+    skip_leading: int = 1
+    #: param → flag, when not the mechanical ``--kebab-case`` form.
+    flag_map: tuple[tuple[str, str], ...] = ()
+    cli_less: frozenset[str] = frozenset()
+
+
+PARITY_CONTRACTS: tuple[ParityContract, ...] = (
+    # ``reference_cut`` is *computed* by the CLI (``--reference``
+    # triggers a reference-cut computation and threads the value).
+    ParityContract(
+        subcommand="solve",
+        module="src/repro/core/solver.py",
+        functions=("solve_ising", "solve_maxcut"),
+        skip_leading=1,
+        flag_map=(("reference_cut", "--reference"),),
+    ),
+    # ``model`` is parsed from the instance-file argument; ``initial``
+    # (a warm-start spin array) is an in-process API affordance with no
+    # sensible one-line CLI encoding.
+    ParityContract(
+        subcommand="submit",
+        module="src/repro/serve/jobs.py",
+        functions=("job_request",),
+        skip_leading=0,
+        flag_map=(("flips_per_iteration", "--flips"),),
+        cli_less=frozenset({"model", "initial"}),
+    ),
+    ParityContract(
+        subcommand="serve",
+        module="src/repro/serve/service.py",
+        functions=("service_config",),
+        skip_leading=0,
+    ),
+)
+
+#: Legacy single-contract aliases (kept importable: the runtime parity
+#: test grew up on these names and older suppression docs cite them).
+PARITY_FUNCTIONS: tuple[str, ...] = PARITY_CONTRACTS[0].functions
+PARITY_SOLVER_MODULE: str = PARITY_CONTRACTS[0].module
 PARITY_CLI_MODULE: str = "src/repro/cli.py"
-
-#: Keywords whose CLI flag is not the mechanical ``--kebab-case`` form.
-#: ``reference_cut`` is *computed* by the CLI (``--reference`` triggers a
-#: reference-cut computation and threads the value through).
-PARITY_FLAG_MAP: dict[str, str] = {
-    "reference_cut": "--reference",
-}
-
-#: Keywords that intentionally have no CLI flag.  Empty today — every
-#: solve knob is CLI-reachable; additions need a rationale comment here.
-PARITY_CLI_LESS: frozenset[str] = frozenset()
+PARITY_FLAG_MAP: dict[str, str] = dict(PARITY_CONTRACTS[0].flag_map)
+PARITY_CLI_LESS: frozenset[str] = PARITY_CONTRACTS[0].cli_less
 
 #: ``**solver_kwargs`` knobs the CLI exposes under bespoke flags.  Not
 #: part of the signatures RPL006 walks, but pinned by the runtime parity
@@ -153,6 +196,7 @@ class LintConfig:
     validating_sinks: frozenset[str] = VALIDATING_SINKS
     plan_setup_calls: frozenset[str] = PLAN_SETUP_CALLS
     plan_setup_allowlist: tuple[str, ...] = PLAN_SETUP_ALLOWLIST
+    parity_contracts: tuple[ParityContract, ...] = PARITY_CONTRACTS
     parity_functions: tuple[str, ...] = PARITY_FUNCTIONS
     parity_solver_module: str = PARITY_SOLVER_MODULE
     parity_cli_module: str = PARITY_CLI_MODULE

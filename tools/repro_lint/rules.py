@@ -367,61 +367,74 @@ class UlpDriftRule(Rule):
 
 
 class ApiCliParityRule(Rule):
-    """RPL006 — API/CLI parity: no half-wired solve knobs.
+    """RPL006 — API/CLI parity: no half-wired solve/serve knobs.
 
-    Every keyword of ``solve_ising``/``solve_maxcut`` must be reachable
-    through the CLI ``solve`` subcommand (PR 2-6 each added a knob, and
-    each had to remember the flag by hand).  The expected flag is the
-    kebab-cased keyword unless the parity map in the config says
-    otherwise; intentionally CLI-less keywords live in the config
-    allowlist, which the runtime parity test pins too.
+    Each ``ParityContract`` in the config pins one CLI subcommand to the
+    API functions it fronts: every keyword of ``solve_ising``/
+    ``solve_maxcut`` must be reachable through ``solve``, every
+    ``job_request`` knob through ``submit``, every ``service_config``
+    knob through ``serve`` (PR 2-6 each added a solve knob, and each had
+    to remember the flag by hand).  The expected flag is the kebab-cased
+    keyword unless the contract's flag map says otherwise; intentionally
+    CLI-less keywords live in the contract's allowlist, which the
+    runtime parity test pins too.
     """
 
     code = "RPL006"
     name = "api-cli-parity"
     summary = (
-        "every solve_ising/solve_maxcut keyword needs a --flag on the "
-        "CLI solve subcommand (or a config allowlist entry)"
+        "every keyword of a parity-contracted API function needs a "
+        "--flag on its CLI subcommand (or a config allowlist entry)"
     )
 
     def finish(self, project: Project) -> Iterable[Finding]:
-        solver = project.get(self.config.parity_solver_module)
         cli = project.get(self.config.parity_cli_module)
-        if solver is None or cli is None:
+        if cli is None:
             return
-        flags = self._solve_flags(cli)
-        if flags is None:
-            yield Finding(
-                cli.path, 1, 0, self.code,
-                "could not locate the 'solve' subparser (add_parser(\"solve\", "
-                "...)) — the API/CLI parity rule has nothing to check against",
-            )
-            return
-        for node in solver.tree.body:
-            if not isinstance(node, ast.FunctionDef):
+        for contract in self.config.parity_contracts:
+            module = project.get(contract.module)
+            if module is None:
                 continue
-            if node.name not in self.config.parity_functions:
-                continue
-            params = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
-            params += [a.arg for a in node.args.kwonlyargs]
-            for param in params[1:]:  # first parameter is the model/problem
-                if param in self.config.parity_cli_less:
-                    continue
-                expected = self.config.parity_flag_map.get(
-                    param, "--" + param.replace("_", "-")
+            flags = self._subparser_flags(cli, contract.subcommand)
+            if flags is None:
+                yield Finding(
+                    cli.path, 1, 0, self.code,
+                    f"could not locate the {contract.subcommand!r} subparser "
+                    f"(add_parser(\"{contract.subcommand}\", ...)) — its "
+                    f"API/CLI parity contract has nothing to check against",
                 )
-                if expected not in flags:
-                    yield Finding(
-                        solver.path, node.lineno, node.col_offset, self.code,
-                        f"{node.name}() keyword {param!r} has no CLI flag "
-                        f"{expected} on the solve subcommand — wire it up "
-                        f"in cli.py or allowlist it in "
-                        f"tools/repro_lint/config.py (PARITY_CLI_LESS)",
+                continue
+            flag_map = dict(contract.flag_map)
+            for node in module.tree.body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                if node.name not in contract.functions:
+                    continue
+                params = [
+                    a.arg
+                    for a in (*node.args.posonlyargs, *node.args.args)
+                ]
+                params += [a.arg for a in node.args.kwonlyargs]
+                for param in params[contract.skip_leading:]:
+                    if param in contract.cli_less:
+                        continue
+                    expected = flag_map.get(
+                        param, "--" + param.replace("_", "-")
                     )
+                    if expected not in flags:
+                        yield Finding(
+                            module.path, node.lineno, node.col_offset,
+                            self.code,
+                            f"{node.name}() keyword {param!r} has no CLI "
+                            f"flag {expected} on the {contract.subcommand} "
+                            f"subcommand — wire it up in cli.py or "
+                            f"allowlist it in tools/repro_lint/config.py "
+                            f"(PARITY_CONTRACTS)",
+                        )
 
     @staticmethod
-    def _solve_flags(cli: FileContext) -> set[str] | None:
-        """Option strings registered on the ``solve`` subparser."""
+    def _subparser_flags(cli: FileContext, subcommand: str) -> set[str] | None:
+        """Option strings registered on the named subparser."""
         parser_vars: set[str] = set()
         for node in ast.walk(cli.tree):
             if (
@@ -431,7 +444,7 @@ class ApiCliParityRule(Rule):
                 and node.value.func.attr == "add_parser"
                 and node.value.args
                 and isinstance(node.value.args[0], ast.Constant)
-                and node.value.args[0].value == "solve"
+                and node.value.args[0].value == subcommand
             ):
                 for target in node.targets:
                     if isinstance(target, ast.Name):
